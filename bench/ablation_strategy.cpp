@@ -1,0 +1,75 @@
+// Ablation A3 — aggregation strategy (Fig. 3's optimizer layer).
+//
+// A burst of small messages is issued back-to-back with PIOMan enabled:
+// the submissions accumulate in the gate queue until the offload tasklet
+// runs, giving the aggregation strategy material to coalesce.  Aggregation
+// saves the per-packet injection base cost and wire latency.
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+
+/// Time to deliver `count` messages of `size` bytes issued in one burst.
+double run_burst(pm2::nm::StrategyKind strategy, int count,
+                 std::size_t size) {
+  using namespace pm2;
+  ClusterConfig cfg;
+  cfg.nm.strategy = strategy;
+  cfg.nm.aggregate_max = 4 * 1024;
+  Cluster cluster(cfg);
+  std::vector<std::vector<std::byte>> tx(
+      count, std::vector<std::byte>(size, std::byte{3}));
+  std::vector<std::vector<std::byte>> rx(count,
+                                         std::vector<std::byte>(size));
+  SimTime done = 0;
+  cluster.run_on(0, [&] {
+    std::vector<nm::Request*> reqs;
+    reqs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      reqs.push_back(cluster.comm(0).isend(1, 1, tx[i]));
+    }
+    for (nm::Request* r : reqs) cluster.comm(0).wait(r);
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < count; ++i) {
+      nm::Request* r = cluster.comm(1).irecv(0, 1, rx[i]);
+      cluster.comm(1).wait(r);
+    }
+    done = cluster.now();
+  });
+  cluster.run();
+  return to_us(done);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pm2;
+  using namespace pm2::bench;
+
+  const int count = 32;
+  const std::size_t sizes[] = {16, 64, 256, 1024, 4096};
+
+  std::printf("Ablation A3: aggregation strategy, burst of %d messages\n",
+              count);
+  print_header("Burst completion time (us)",
+               {"msg size", "fifo", "aggregate", "gain(%)"});
+  for (const std::size_t size : sizes) {
+    const double fifo = run_burst(nm::StrategyKind::kFifo, count, size);
+    const double aggr = run_burst(nm::StrategyKind::kAggregate, count, size);
+    print_cell(size_label(size));
+    print_cell(fifo);
+    print_cell(aggr);
+    print_cell((fifo - aggr) / fifo * 100.0);
+    end_row();
+  }
+  std::printf(
+      "\nAggregation coalesces queued small packs into one wire packet,\n"
+      "amortizing the per-packet injection base cost and wire latency.\n"
+      "It wins for tiny messages and *loses* once the per-byte cost\n"
+      "dominates: batching then only delays the first bytes and removes\n"
+      "receive-side pipelining — which is why NewMadeleine applies it\n"
+      "selectively (its optimizer layer exists to make this call).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared benchmark harness: the paper's Fig. 4 kernel and table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "pm2/cluster.hpp"
+
+namespace pm2::bench {
+
+/// Result of running the Fig. 4 kernel.
+struct Fig4Result {
+  double send_us = 0;  // mean of sender's [isend; compute; swait]
+  double recv_us = 0;  // mean of receiver's [irecv; compute; rwait]
+};
+
+/// The benchmark of §4.1/§4.2 (Fig. 4): a symmetric ping-pong where each
+/// side runs `isend(len); compute(comp); swait()` and the mirrored receive.
+/// `pioman` selects the multithreaded engine vs the app-driven baseline.
+inline Fig4Result run_fig4(bool pioman, std::size_t size, SimDuration comp,
+                           int iters = 16, ClusterConfig cfg = {}) {
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  std::vector<std::byte> data0(size, std::byte{0xa5});
+  std::vector<std::byte> data1(size, std::byte{0x5a});
+  std::vector<std::byte> rx0(size), rx1(size);
+  constexpr int kWarmup = 3;
+  Samples send_t, recv_t;
+
+  cluster.run_on(0, [&] {
+    for (int i = 0; i < iters + kWarmup; ++i) {
+      const SimTime t1 = cluster.now();
+      nm::Request* s = cluster.comm(0).isend(1, 1, data0);
+      marcel::this_thread::compute(comp);
+      cluster.comm(0).wait(s);
+      const SimTime t2 = cluster.now();
+      nm::Request* r = cluster.comm(0).irecv(1, 2, rx0);
+      marcel::this_thread::compute(comp);
+      cluster.comm(0).wait(r);
+      const SimTime t3 = cluster.now();
+      if (i >= kWarmup) {
+        send_t.add(to_us(t2 - t1));
+        recv_t.add(to_us(t3 - t2));
+      }
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < iters + kWarmup; ++i) {
+      nm::Request* r = cluster.comm(1).irecv(0, 1, rx1);
+      marcel::this_thread::compute(comp);
+      cluster.comm(1).wait(r);
+      nm::Request* s = cluster.comm(1).isend(0, 2, data1);
+      marcel::this_thread::compute(comp);
+      cluster.comm(1).wait(s);
+    }
+  });
+  cluster.run();
+  return Fig4Result{send_t.mean(), recv_t.mean()};
+}
+
+/// Fixed-width table printing.
+inline void print_header(const char* title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title);
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "------");
+  std::printf("\n");
+}
+
+inline void print_cell(const std::string& s) { std::printf("%16s", s.c_str()); }
+inline void print_cell(double v) { std::printf("%16.2f", v); }
+inline void end_row() { std::printf("\n"); }
+
+inline std::string size_label(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0) {
+    std::snprintf(buf, sizeof buf, "%zuM", bytes / (1024 * 1024));
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    std::snprintf(buf, sizeof buf, "%zuK", bytes / 1024);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu", bytes);
+  }
+  return buf;
+}
+
+}  // namespace pm2::bench

@@ -1,0 +1,104 @@
+// Classic network characterization of the simulated stack: half-round-trip
+// latency and streaming bandwidth vs message size — the sanity tables any
+// communication library ships, here for both progression modes.
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace pm2;
+
+/// Half round-trip latency of a ping-pong (no computation).
+double pingpong_latency_us(bool pioman, std::size_t size, int iters = 24) {
+  ClusterConfig cfg;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  std::vector<std::byte> buf0(size, std::byte{1}), buf1(size, std::byte{2});
+  std::vector<std::byte> in0(size), in1(size);
+  SimTime t0 = 0, t1 = 0;
+  cluster.run_on(0, [&] {
+    t0 = cluster.now();
+    for (int i = 0; i < iters; ++i) {
+      cluster.comm(0).wait(cluster.comm(0).isend(1, 1, buf0));
+      cluster.comm(0).wait(cluster.comm(0).irecv(1, 2, in0));
+    }
+    t1 = cluster.now();
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < iters; ++i) {
+      cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, in1));
+      cluster.comm(1).wait(cluster.comm(1).isend(0, 2, buf1));
+    }
+  });
+  cluster.run();
+  return to_us(t1 - t0) / (2.0 * iters);
+}
+
+/// Streaming bandwidth: pipeline many sends, measure delivered bytes/time.
+double stream_bandwidth_gbps(bool pioman, std::size_t size, int count = 32) {
+  ClusterConfig cfg;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  std::vector<std::byte> data(size, std::byte{3});
+  std::vector<std::vector<std::byte>> rx(count,
+                                         std::vector<std::byte>(size));
+  SimTime done = 0;
+  cluster.run_on(0, [&] {
+    std::vector<nm::Request*> reqs;
+    reqs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      reqs.push_back(cluster.comm(0).isend(1, 1, data));
+    }
+    for (nm::Request* r : reqs) cluster.comm(0).wait(r);
+  });
+  cluster.run_on(1, [&] {
+    std::vector<nm::Request*> reqs;
+    reqs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      reqs.push_back(cluster.comm(1).irecv(0, 1, rx[i]));
+    }
+    for (nm::Request* r : reqs) cluster.comm(1).wait(r);
+    done = cluster.now();
+  });
+  cluster.run();
+  const double bytes = static_cast<double>(size) * count;
+  return bytes / 1e9 / (to_us(done) * 1e-6);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pm2::bench;
+
+  std::printf("Network characterization of the simulated stack "
+              "(2 nodes x 8 cores, 1 rail @ 10 Gb/s)\n");
+  print_header("Half-RTT latency (us)",
+               {"size", "app-driven", "pioman"});
+  for (const std::size_t size :
+       {std::size_t{1}, std::size_t{1024}, std::size_t{8 * 1024},
+        std::size_t{32 * 1024}, std::size_t{128 * 1024},
+        std::size_t{1024 * 1024}}) {
+    print_cell(size_label(size));
+    print_cell(pingpong_latency_us(false, size));
+    print_cell(pingpong_latency_us(true, size));
+    end_row();
+  }
+
+  print_header("Stream bandwidth (GB/s)",
+               {"size", "app-driven", "pioman"});
+  for (const std::size_t size :
+       {std::size_t{4 * 1024}, std::size_t{32 * 1024},
+        std::size_t{256 * 1024}, std::size_t{1024 * 1024}}) {
+    print_cell(size_label(size));
+    print_cell(stream_bandwidth_gbps(false, size));
+    print_cell(stream_bandwidth_gbps(true, size));
+    end_row();
+  }
+  std::printf(
+      "\nWithout computation to overlap, both modes converge — the engine\n"
+      "adds no throughput penalty; the wire (1.25 GB/s/rail) or the eager\n"
+      "injection path bound the bandwidth depending on the size.\n");
+  return 0;
+}

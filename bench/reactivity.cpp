@@ -1,0 +1,81 @@
+// Reactivity: how quickly is an incoming message *detected and processed*
+// as a function of machine load?  This is the property PIOMan is built to
+// guarantee (its EuroPVM/MPI'07 companion paper [10] is entirely about it),
+// and what makes the rendezvous handshake progress.
+//
+// Setup: the receiver posts an irecv and computes for a long time; the
+// sender fires one eager message mid-compute.  We measure from the packet's
+// arrival at the NIC (rx-notify) to the receive request's completion.
+#include <cstdio>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace pm2;
+
+double detection_latency_us(bool pioman, unsigned busy_extra) {
+  ClusterConfig cfg;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  const std::size_t size = 8 * 1024;
+  std::vector<std::byte> data(size, std::byte{1});
+  std::vector<std::byte> rx(size);
+  SimTime arrived = 0, completed = 0;
+  cluster.fabric().nic(1).set_rx_notify([&] {
+    if (arrived == 0) arrived = cluster.now();
+    if (cluster.server(1) != nullptr) cluster.server(1)->notify_work();
+  });
+
+  for (unsigned t = 0; t < busy_extra; ++t) {
+    cluster.run_on(1, [] { marcel::this_thread::compute(3000 * kUs); },
+                   "load", static_cast<int>(t));
+  }
+  cluster.run_on(1, [&] {
+    nm::Request* r = cluster.comm(1).irecv(0, 1, rx);
+    marcel::this_thread::compute(1500 * kUs);
+    cluster.comm(1).wait(r);
+  }, "receiver", 3);
+  cluster.run_on(0, [&] {
+    marcel::this_thread::compute(300 * kUs);  // fire mid-compute
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  // Completion time: sample via an engine probe once rx seen.
+  std::function<void()> probe = [&] {
+    if (completed == 0 && arrived != 0 &&
+        cluster.comm(1).stats().expected_eager +
+                cluster.comm(1).stats().unexpected_eager >
+            0) {
+      completed = cluster.now();
+      return;
+    }
+    if (completed == 0) cluster.engine().schedule_after(2 * kUs, probe);
+  };
+  cluster.engine().schedule_after(2 * kUs, probe);
+  cluster.run();
+  if (completed == 0) completed = cluster.now();
+  return to_us(completed - arrived);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pm2::bench;
+  std::printf("Reactivity: NIC arrival -> message processed, 8K eager,\n"
+              "receiver computing 1500 us (4 cores/node)\n");
+  print_header("Detection latency (us)",
+               {"busy cores", "app-driven", "pioman"});
+  for (const unsigned busy : {0u, 1u, 2u, 3u}) {
+    print_cell(std::to_string(1 + busy) + "/4");
+    print_cell(detection_latency_us(false, busy));
+    print_cell(detection_latency_us(true, busy));
+    end_row();
+  }
+  std::printf(
+      "\nThe baseline only notices the packet when the application reaches\n"
+      "its wait (~1200 us later).  PIOMan detects it within microseconds as\n"
+      "long as any core is idle; when all cores compute, eager traffic\n"
+      "waits for the wait path by design (only rendezvous arms the LWP).\n");
+  return 0;
+}

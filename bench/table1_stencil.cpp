@@ -1,0 +1,64 @@
+// Table 1 — "Impact of the number of threads on the communication
+// offloading": the convolution meta-application (§4.3, Figs. 7–8).
+//
+// Two configurations on a 2-node × 8-core cluster:
+//   * 4 threads total  (2 per node) — plenty of idle cores for offloading,
+//   * 16 threads total (8 per node) — no statically idle core; PIOMan
+//     fills the gaps left by threads waiting for their neighbours.
+// Frontier messages stay below the rendezvous threshold, so the benchmark
+// measures the copy-offload effect, as in the paper.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "pm2/stencil.hpp"
+
+int main() {
+  using namespace pm2;
+  using namespace pm2::bench;
+
+  struct Row {
+    const char* label;
+    unsigned rows, cols;
+  };
+  // 4 threads = 2×2 grid; 16 threads = 4×4 grid (Fig. 8).
+  const Row rows[] = {{"4 threads", 2, 2}, {"16 threads", 4, 4}};
+
+  std::printf("Table 1: stencil meta-application "
+              "(2 nodes x 8 cores, 16K frontier messages)\n");
+  print_header("Iteration time",
+               {"config", "no-offload(us)", "offload(us)", "speedup(%)",
+                "offloaded"});
+  for (const Row& row : rows) {
+    apps::StencilConfig scfg;
+    scfg.grid_rows = row.rows;
+    scfg.grid_cols = row.cols;
+    scfg.frontier_bytes = 16 * 1024;  // below the 32K rdv threshold
+    scfg.interior_compute = 150 * kUs;
+    scfg.compute_jitter = 0.3;
+    scfg.iterations = 20;
+    ClusterConfig ccfg;
+    ccfg.nodes = 2;
+    ccfg.cpus_per_node = 8;
+
+    ccfg.pioman = false;
+    const apps::StencilResult base = apps::run_stencil(scfg, ccfg);
+    ccfg.pioman = true;
+    const apps::StencilResult offl = apps::run_stencil(scfg, ccfg);
+
+    const double speedup =
+        (base.iteration_us - offl.iteration_us) / base.iteration_us * 100.0;
+    print_cell(row.label);
+    print_cell(base.iteration_us);
+    print_cell(offl.iteration_us);
+    print_cell(speedup);
+    print_cell(static_cast<double>(offl.offloaded_submissions));
+    end_row();
+  }
+  std::printf(
+      "\nExpected shape (paper): offloading wins in both configurations\n"
+      "(441->382us = 14%% with 4 threads, 1183->1031us = 13%% with 16).\n"
+      "Here: a clear win with idle cores (4 threads); a small win at 16\n"
+      "threads — the deterministic simulation has less schedule noise than\n"
+      "a real node, so fewer gaps for PIOMan to fill (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// A pipelined producer → consumer across two nodes: the producer streams
+// chunks while computing the next one; the consumer post-processes each
+// chunk while the following one is in flight.  Demonstrates that the
+// sustained pipeline rate with PIOMan approaches max(compute, transfer)
+// per stage instead of their sum.
+//
+//   $ ./examples/pipeline_overlap [chunks] [chunk_kb]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "pm2/cluster.hpp"
+
+namespace {
+
+double run_pipeline(bool pioman, int chunks, std::size_t chunk_bytes,
+                    pm2::SimDuration stage_compute) {
+  using namespace pm2;
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cpus_per_node = 8;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+
+  // Two send buffers so chunk i+1 can be produced while chunk i drains.
+  std::vector<std::vector<std::byte>> out(2,
+      std::vector<std::byte>(chunk_bytes, std::byte{1}));
+  std::vector<std::vector<std::byte>> in(2,
+      std::vector<std::byte>(chunk_bytes));
+  SimTime elapsed = 0;
+
+  cluster.run_on(0, [&] {
+    const SimTime t0 = cluster.now();
+    nm::Request* prev = nullptr;
+    for (int i = 0; i < chunks; ++i) {
+      marcel::this_thread::compute(stage_compute);  // produce chunk i
+      if (prev != nullptr) cluster.comm(0).wait(prev);
+      prev = cluster.comm(0).isend(1, 1, out[i % 2]);
+    }
+    cluster.comm(0).wait(prev);
+    elapsed = cluster.now() - t0;
+  });
+  cluster.run_on(1, [&] {
+    nm::Request* next = cluster.comm(1).irecv(0, 1, in[0]);
+    for (int i = 0; i < chunks; ++i) {
+      cluster.comm(1).wait(next);
+      next = i + 1 < chunks ? cluster.comm(1).irecv(0, 1, in[(i + 1) % 2])
+                            : nullptr;
+      marcel::this_thread::compute(stage_compute);  // consume chunk i
+    }
+  });
+  cluster.run();
+  return to_us(elapsed) / chunks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int chunks = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::size_t chunk_kb =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+  const pm2::SimDuration stage = 25 * pm2::kUs;
+
+  std::printf("Pipeline: %d chunks of %zu KiB, %0.f us compute per stage\n\n",
+              chunks, chunk_kb, pm2::to_us(stage));
+  const double base = run_pipeline(false, chunks, chunk_kb * 1024, stage);
+  const double piom = run_pipeline(true, chunks, chunk_kb * 1024, stage);
+  std::printf("original NewMadeleine : %8.2f us per chunk\n", base);
+  std::printf("PIOMan engine         : %8.2f us per chunk\n", piom);
+  std::printf("pipeline speedup      : %8.2f %%\n",
+              (base - piom) / base * 100.0);
+  std::printf("\nWith PIOMan the injection of chunk i overlaps the\n"
+              "production of chunk i+1, so the per-chunk cost approaches\n"
+              "max(compute, inject) instead of compute + inject.\n");
+  return 0;
+}

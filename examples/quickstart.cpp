@@ -1,0 +1,60 @@
+// Quickstart: bring up a simulated 2-node cluster running the full PM2
+// stack (Marcel + PIOMan + NewMadeleine), exchange a few messages, and
+// show the overlap of communication and computation.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "pm2/cluster.hpp"
+#include "pm2/report.hpp"
+
+int main() {
+  using namespace pm2;
+
+  // 2 nodes × 8 cores, PIOMan enabled (the paper's engine).
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cpus_per_node = 8;
+  cfg.pioman = true;
+  Cluster cluster(cfg);
+
+  std::vector<std::byte> message(4096, std::byte{'x'});
+  std::vector<std::byte> inbox(4096);
+
+  // Node 0: non-blocking send, 50us of "computation", then wait.  With
+  // PIOMan the expensive injection happens on an idle core while we
+  // compute.
+  cluster.run_on(0, [&] {
+    const SimTime t0 = cluster.now();
+    nm::Request* send = cluster.comm(0).isend(/*dst=*/1, /*tag=*/7, message);
+    std::printf("[node 0] isend returned after %.2f us (request only)\n",
+                to_us(cluster.now() - t0));
+    marcel::this_thread::compute(50 * kUs);
+    cluster.comm(0).wait(send);
+    std::printf("[node 0] send complete at t=%.2f us "
+                "(compute was 50 us: fully overlapped)\n",
+                to_us(cluster.now() - t0));
+  });
+
+  // Node 1: the mirrored receive.
+  cluster.run_on(1, [&] {
+    nm::Request* recv = cluster.comm(1).irecv(/*src=*/0, /*tag=*/7, inbox);
+    marcel::this_thread::compute(50 * kUs);
+    cluster.comm(1).wait(recv);
+    std::printf("[node 1] received %zu bytes, first byte '%c'\n",
+                inbox.size(), static_cast<char>(inbox[0]));
+  });
+
+  cluster.run();  // run the simulation to quiescence
+
+  // Where did the protocol work actually happen?
+  const auto& piom = cluster.server(0)->stats();
+  std::printf("\n[node 0] PIOMan: %llu submissions posted, "
+              "%llu offloaded to idle cores, %llu flushed in wait\n",
+              static_cast<unsigned long long>(piom.posted_items),
+              static_cast<unsigned long long>(piom.posted_offloaded),
+              static_cast<unsigned long long>(piom.posted_flushed));
+  std::printf("\n%s", format_report(cluster).c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Always-on assertion macros for invariants that must hold in release
+// builds as well: a communication engine that silently corrupts a match
+// table is worse than one that aborts loudly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pm2::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pm2: assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pm2::detail
+
+#define PM2_ASSERT(expr)                                              \
+  (static_cast<bool>(expr)                                            \
+       ? static_cast<void>(0)                                         \
+       : ::pm2::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define PM2_ASSERT_MSG(expr, msg)                                  \
+  (static_cast<bool>(expr)                                         \
+       ? static_cast<void>(0)                                      \
+       : ::pm2::detail::assert_fail(#expr, __FILE__, __LINE__, msg))
+
+#define PM2_UNREACHABLE(msg) \
+  ::pm2::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

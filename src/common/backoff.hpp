@@ -1,0 +1,48 @@
+// Exponential backoff for spin loops (host threads).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pm2 {
+
+/// Hint the CPU that we are in a spin-wait loop (PAUSE on x86).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff: spin with PAUSE for short contention, then fall
+/// back to `yield()` so a single-core host can still make progress.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      for (std::uint32_t i = 0; i < (1u << spins_); ++i) cpu_relax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+  /// True once the backoff has escalated past pure spinning.
+  [[nodiscard]] bool is_yielding() const noexcept {
+    return spins_ >= kSpinLimit;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 7;  // up to 128 PAUSEs
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace pm2

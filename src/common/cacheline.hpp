@@ -1,0 +1,31 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pm2 {
+
+/// Size of a destructive-interference cache line on the target platform.
+/// `std::hardware_destructive_interference_size` is not reliably available
+/// on every toolchain we target, so pin the conventional x86-64 value.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wrapper that places `T` on its own cache line so that hot per-core
+/// state (runqueue heads, counters, sequence numbers) never false-shares.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  constexpr T& operator*() noexcept { return value; }
+  constexpr const T& operator*() const noexcept { return value; }
+  constexpr T* operator->() noexcept { return &value; }
+  constexpr const T* operator->() const noexcept { return &value; }
+};
+
+/// Pad a struct to a full cache line; use as a base or trailing member.
+struct CacheLinePad {
+  char pad[kCacheLineSize] = {};
+};
+
+}  // namespace pm2

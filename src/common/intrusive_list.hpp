@@ -1,0 +1,144 @@
+// Doubly-linked intrusive list.  Used for runqueues, waiter lists, pending
+// request lists — anywhere O(1) unlink of an element we already hold matters
+// and memory allocation on the hot path is unacceptable.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "common/assert.hpp"
+
+namespace pm2 {
+
+/// Embed one of these in each element; multiple hooks allow membership in
+/// several lists at once (e.g. a request on both a gate list and a piom
+/// poll list).
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+
+  [[nodiscard]] bool is_linked() const noexcept { return prev != nullptr; }
+
+  void unlink() noexcept {
+    PM2_ASSERT(is_linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = next = nullptr;
+  }
+};
+
+/// Intrusive list of `T` through member hook `Hook`.
+/// The list does not own its elements.
+template <typename T, ListHook T::* Hook>
+class IntrusiveList {
+ public:
+  IntrusiveList() noexcept { head_.prev = head_.next = &head_; }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return head_.next == &head_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push_back(T& item) noexcept { insert_before(head_, hook(item)); }
+  void push_front(T& item) noexcept { insert_before(*head_.next, hook(item)); }
+
+  T& front() noexcept {
+    PM2_ASSERT(!empty());
+    return *owner(head_.next);
+  }
+  T& back() noexcept {
+    PM2_ASSERT(!empty());
+    return *owner(head_.prev);
+  }
+
+  T* pop_front() noexcept {
+    if (empty()) return nullptr;
+    T* item = owner(head_.next);
+    erase(*item);
+    return item;
+  }
+
+  T* pop_back() noexcept {
+    if (empty()) return nullptr;
+    T* item = owner(head_.prev);
+    erase(*item);
+    return item;
+  }
+
+  void erase(T& item) noexcept {
+    hook(item).unlink();
+    --size_;
+  }
+
+  [[nodiscard]] bool contains(const T& item) const noexcept {
+    return (item.*Hook).is_linked() && find_slow(item);
+  }
+
+  void clear() noexcept {
+    while (pop_front() != nullptr) {
+    }
+  }
+
+  /// Minimal forward iterator so range-for works.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    explicit iterator(ListHook* at) noexcept : at_(at) {}
+    reference operator*() const noexcept { return *owner_of(at_); }
+    pointer operator->() const noexcept { return owner_of(at_); }
+    iterator& operator++() noexcept {
+      at_ = at_->next;
+      return *this;
+    }
+    iterator operator++(int) noexcept {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const noexcept = default;
+
+   private:
+    ListHook* at_;
+  };
+
+  iterator begin() noexcept { return iterator(head_.next); }
+  iterator end() noexcept { return iterator(&head_); }
+
+ private:
+  static ListHook& hook(T& item) noexcept { return item.*Hook; }
+
+  static T* owner_of(ListHook* h) noexcept {
+    // Recover the element address from its embedded hook.
+    const auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - offset);
+  }
+
+  static T* owner(ListHook* h) noexcept { return owner_of(h); }
+
+  void insert_before(ListHook& pos, ListHook& item) noexcept {
+    PM2_ASSERT_MSG(!item.is_linked(), "element already on a list");
+    item.prev = pos.prev;
+    item.next = &pos;
+    pos.prev->next = &item;
+    pos.prev = &item;
+    ++size_;
+  }
+
+  [[nodiscard]] bool find_slow(const T& item) const noexcept {
+    for (const ListHook* h = head_.next; h != &head_; h = h->next) {
+      if (h == &(item.*Hook)) return true;
+    }
+    return false;
+  }
+
+  ListHook head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pm2

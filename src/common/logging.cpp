@@ -1,0 +1,51 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pm2::log {
+namespace {
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("PM2_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+
+const char* tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void write(LogLevel lvl, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[pm2:%s] %s\n", tag(lvl), buf);
+}
+
+}  // namespace pm2::log

@@ -1,0 +1,43 @@
+// Minimal leveled logger.  Compiled-in levels only; TRACE is compiled out of
+// release builds because the per-event call sites sit on simulation hot
+// paths.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace pm2 {
+
+enum class LogLevel : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError };
+
+namespace log {
+
+/// Global threshold; messages below it are dropped.  Defaults to kWarn so
+/// tests and benches stay quiet; set PM2_LOG=debug|info|... to override.
+void set_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel level() noexcept;
+
+/// printf-style emission; thread-safe (single write per message).
+void write(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace log
+}  // namespace pm2
+
+#define PM2_LOG(lvl, ...)                                  \
+  do {                                                     \
+    if (static_cast<int>(lvl) >=                           \
+        static_cast<int>(::pm2::log::level())) {           \
+      ::pm2::log::write(lvl, __VA_ARGS__);                 \
+    }                                                      \
+  } while (0)
+
+#define PM2_WARN(...) PM2_LOG(::pm2::LogLevel::kWarn, __VA_ARGS__)
+#define PM2_INFO(...) PM2_LOG(::pm2::LogLevel::kInfo, __VA_ARGS__)
+#define PM2_DEBUG(...) PM2_LOG(::pm2::LogLevel::kDebug, __VA_ARGS__)
+
+#ifndef NDEBUG
+#define PM2_TRACE(...) PM2_LOG(::pm2::LogLevel::kTrace, __VA_ARGS__)
+#else
+#define PM2_TRACE(...) static_cast<void>(0)
+#endif

@@ -1,0 +1,106 @@
+// Bounded multi-producer multi-consumer ring buffer (Vyukov design).
+// Used for packet queues between simulated NICs in real-thread deployments
+// and as a general building block; stress-tested with real threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/cacheline.hpp"
+
+namespace pm2 {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two.
+  explicit MpmcRing(std::size_t capacity)
+      : mask_(capacity - 1), cells_(std::make_unique<Cell[]>(capacity)) {
+    PM2_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                   "capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Non-blocking; false when full.
+  template <typename U>
+  [[nodiscard]] bool try_push(U&& value) {
+    Cell* cell;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->storage = std::forward<U>(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking; empty optional when the ring is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    Cell* cell;
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::int64_t>(seq) -
+                        static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(cell->storage));
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate — diagnostics only.
+  [[nodiscard]] std::size_t size_hint() const noexcept {
+    const std::uint64_t e = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t d = dequeue_pos_.load(std::memory_order_relaxed);
+    return e >= d ? static_cast<std::size_t>(e - d) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T storage{};
+  };
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace pm2

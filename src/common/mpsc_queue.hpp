@@ -1,0 +1,99 @@
+// Intrusive multi-producer single-consumer queue (Vyukov design).
+//
+// Wait-free push from any number of host threads, obstruction-free pop by a
+// single consumer.  PIOMan uses this shape for handing requests to the
+// blocking LWP and tasklet queues use it in real-thread deployments; it is
+// stress-tested with real std::threads even though the simulator itself is
+// single-threaded.
+#pragma once
+
+#include <atomic>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+
+namespace pm2 {
+
+/// Embed in each node type.  Copy/move produce a fresh, unlinked hook —
+/// linkage is a property of the queue, not of the element's value.
+struct MpscHook {
+  std::atomic<MpscHook*> next{nullptr};
+
+  MpscHook() = default;
+  MpscHook(const MpscHook&) noexcept {}
+  MpscHook& operator=(const MpscHook&) noexcept { return *this; }
+};
+
+template <typename T, MpscHook T::* Hook>
+class MpscQueue {
+ public:
+  MpscQueue() noexcept : head_(&stub_), tail_(&stub_) {}
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Wait-free; callable from any thread.
+  void push(T& item) noexcept {
+    MpscHook* h = &(item.*Hook);
+    h->next.store(nullptr, std::memory_order_relaxed);
+    MpscHook* prev = head_.exchange(h, std::memory_order_acq_rel);
+    prev->next.store(h, std::memory_order_release);
+  }
+
+  /// Single consumer only.  Returns nullptr when empty (or when a producer
+  /// is mid-push; retried internally with bounded spinning).
+  T* pop() noexcept {
+    MpscHook* tail = tail_;
+    MpscHook* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return owner(tail);
+    }
+    // tail is the last element; check for a racing producer.
+    if (tail != head_.load(std::memory_order_acquire)) {
+      // Producer has swapped head but not yet linked `next`; wait for it.
+      Backoff backoff;
+      while ((next = tail->next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.pause();
+      }
+      tail_ = next;
+      return owner(tail);
+    }
+    // Queue has exactly one element: push the stub back so the consumer can
+    // take the last real node.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    MpscHook* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+    prev->next.store(&stub_, std::memory_order_release);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return owner(tail);
+    }
+    return nullptr;  // racing producer will complete; caller retries later
+  }
+
+  /// Racy emptiness hint (exact when quiescent).
+  [[nodiscard]] bool empty_hint() const noexcept {
+    return tail_ == &stub_ &&
+           stub_.next.load(std::memory_order_acquire) == nullptr &&
+           head_.load(std::memory_order_acquire) == &stub_;
+  }
+
+ private:
+  static T* owner(MpscHook* h) noexcept {
+    const auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Hook));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - offset);
+  }
+
+  alignas(kCacheLineSize) std::atomic<MpscHook*> head_;  // producers
+  alignas(kCacheLineSize) MpscHook* tail_;               // consumer
+  MpscHook stub_;
+};
+
+}  // namespace pm2

@@ -1,0 +1,42 @@
+// Virtual-time units.  The whole PM2 stack runs in simulated time: one tick
+// is one nanosecond of the modelled machine, independent of host wall-clock.
+#pragma once
+
+#include <cstdint>
+
+namespace pm2 {
+
+/// Absolute simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Simulated duration, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+inline constexpr SimTime kSimTimeNever = ~SimTime{0};
+
+/// Convenience constructors so call sites read in natural units.
+[[nodiscard]] constexpr SimDuration nanoseconds(std::uint64_t n) noexcept {
+  return n;
+}
+[[nodiscard]] constexpr SimDuration microseconds(std::uint64_t n) noexcept {
+  return n * 1000ull;
+}
+[[nodiscard]] constexpr SimDuration milliseconds(std::uint64_t n) noexcept {
+  return n * 1'000'000ull;
+}
+[[nodiscard]] constexpr SimDuration seconds(std::uint64_t n) noexcept {
+  return n * 1'000'000'000ull;
+}
+
+/// Literal-style helpers (e.g. `20 * kUs`).
+inline constexpr SimDuration kUs = 1000;
+inline constexpr SimDuration kMs = 1'000'000;
+
+[[nodiscard]] constexpr double to_us(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e3;
+}
+[[nodiscard]] constexpr double to_ms(SimDuration d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace pm2

@@ -1,0 +1,80 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// The paper (§2.1) argues that because each communication event is processed
+// for a very short time, mutual exclusion can use "light primitives such as
+// spinlocks" instead of a library-wide mutex.  This is that primitive for
+// real host threads; inside the discrete-event simulation the equivalent
+// cost model lives in marcel::LockCost.
+#pragma once
+
+#include <atomic>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+
+namespace pm2 {
+
+/// TTAS spinlock.  Satisfies the C++ `Lockable` named requirement so it can
+/// be used with std::lock_guard / std::unique_lock / std::scoped_lock.
+class alignas(kCacheLineSize) Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      // Test-and-set attempt first; on failure spin on a plain load so the
+      // cache line stays shared until it is plausibly free.
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+  /// Diagnostic only — racy by nature.
+  [[nodiscard]] bool is_locked() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Ticket lock: FIFO-fair alternative used by the locking ablation bench.
+class alignas(kCacheLineSize) TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    Backoff backoff;
+    while (serving_.load(std::memory_order_acquire) != my) backoff.pause();
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    std::uint32_t cur = serving_.load(std::memory_order_acquire);
+    return next_.compare_exchange_strong(cur, cur + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace pm2

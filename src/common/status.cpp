@@ -1,0 +1,20 @@
+#include "common/status.hpp"
+
+namespace pm2 {
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kAgain: return "again";
+    case Status::kNotFound: return "not-found";
+    case Status::kAlreadyDone: return "already-done";
+    case Status::kInvalidArgument: return "invalid-argument";
+    case Status::kOutOfRange: return "out-of-range";
+    case Status::kClosed: return "closed";
+    case Status::kTimedOut: return "timed-out";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace pm2

@@ -1,0 +1,27 @@
+// Error codes shared across the stack.  The communication engine reports
+// failures by value (no exceptions on hot paths).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pm2 {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kAgain,           // transient: retry (e.g. NIC tx queue full)
+  kNotFound,        // no matching entry
+  kAlreadyDone,     // request already completed/cancelled
+  kInvalidArgument, // caller error
+  kOutOfRange,      // size/index outside configured bounds
+  kClosed,          // endpoint or session shut down
+  kTimedOut,        // wait deadline expired
+  kInternal,        // engine invariant violated (bug)
+};
+
+/// Human-readable code name, e.g. for logs and test diagnostics.
+[[nodiscard]] std::string_view to_string(Status s) noexcept;
+
+[[nodiscard]] constexpr bool ok(Status s) noexcept { return s == Status::kOk; }
+
+}  // namespace pm2

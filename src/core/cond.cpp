@@ -1,0 +1,85 @@
+#include "core/cond.hpp"
+
+#include "common/assert.hpp"
+#include "core/server.hpp"
+#include "marcel/cpu.hpp"
+#include "marcel/node.hpp"
+
+namespace pm2::piom {
+
+void Cond::signal() {
+  if (done_) return;
+  done_ = true;
+  while (marcel::Thread* t = waiters_.pop_front()) t->node().wake(*t);
+}
+
+void Cond::wait() {
+  marcel::Thread* self = marcel::this_thread::self();
+  PM2_ASSERT_MSG(self != nullptr, "Cond::wait outside a marcel thread");
+  // Posted-but-not-offloaded work is on our critical path now: run it here
+  // ("the message is sent inside the wait function", §3.1).
+  server_->flush_posted();
+  while (!done_) {
+    // NB: every call below that consumes CPU time is a suspension point
+    // after which the thread may have migrated — fetch the CPU fresh and
+    // use it only for the immediately following non-suspending calls.
+    if (server_->posted_pending() > 0) {
+      server_->flush_posted();
+      if (done_) break;
+    }
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    if (cpu.runnable() > 0) {
+      // Other threads want this core: wait passively, progression is
+      // covered by idle cores, the LWP, or the other threads' own waits.
+      waiters_.push_back(*self);
+      cpu.block_current();
+      continue;
+    }
+    const bool progress = server_->poll_round(cpu);
+    if (done_) break;
+    if (!progress && server_->config().poll_gap > 0) {
+      marcel::this_thread::compute(server_->config().poll_gap);
+    }
+  }
+}
+
+Status Cond::wait_for(SimDuration timeout) {
+  marcel::Thread* self = marcel::this_thread::self();
+  PM2_ASSERT_MSG(self != nullptr, "Cond::wait_for outside a marcel thread");
+  sim::Engine& engine = server_->node().engine();
+  const SimTime deadline = engine.now() + timeout;
+  server_->flush_posted();
+  while (!done_) {
+    if (engine.now() >= deadline) return Status::kTimedOut;
+    if (server_->posted_pending() > 0) {
+      server_->flush_posted();
+      if (done_) break;
+      continue;
+    }
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    if (cpu.runnable() > 0) {
+      // Passive timed wait: a deadline event yanks us out of the waiter
+      // list if the signal has not arrived by then.
+      waiters_.push_back(*self);
+      marcel::Node& node = self->node();
+      const sim::EventId timer =
+          engine.schedule_at(deadline, [this, self, &node] {
+            if (self->wait_hook.is_linked()) {
+              waiters_.erase(*self);
+              node.wake(*self);
+            }
+          });
+      cpu.block_current();
+      engine.cancel(timer);
+      continue;
+    }
+    const bool progress = server_->poll_round(cpu);
+    if (done_) break;
+    if (!progress && server_->config().poll_gap > 0) {
+      marcel::this_thread::compute(server_->config().poll_gap);
+    }
+  }
+  return done_ ? Status::kOk : Status::kTimedOut;
+}
+
+}  // namespace pm2::piom

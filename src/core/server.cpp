@@ -1,0 +1,248 @@
+#include "core/server.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "marcel/cpu.hpp"
+
+namespace pm2::piom {
+namespace {
+
+/// Consume `d` of CPU time on the calling fiber (tasklet/hook/thread
+/// context).  Re-fetches the current CPU per chunk — a preemption may
+/// migrate a thread fiber mid-charge.
+void burn(marcel::Cpu&, SimDuration d) { marcel::this_thread::compute(d); }
+
+}  // namespace
+
+Server::Server(marcel::Node& node, Config cfg)
+    : node_(node),
+      cfg_(cfg),
+      offload_tasklet_([this] { offload_tasklet_body(); }, "piom-offload") {
+  idle_hook_id_ =
+      node_.add_idle_hook([this](marcel::Cpu& cpu) { return idle_hook(cpu); });
+  tick_hook_id_ =
+      node_.add_tick_hook([this](marcel::Cpu& cpu) { tick_hook(cpu); });
+  switch_hook_id_ =
+      node_.add_switch_hook([this](marcel::Cpu& cpu) { switch_hook(cpu); });
+  if (cfg_.enable_blocking_lwp) {
+    lwp_ = &node_.spawn([this] { lwp_body(); }, marcel::Priority::kRealtime,
+                        "piom-lwp");
+  }
+}
+
+Server::~Server() {
+  node_.remove_idle_hook(idle_hook_id_);
+  node_.remove_tick_hook(tick_hook_id_);
+  node_.remove_switch_hook(switch_hook_id_);
+}
+
+int Server::register_ltask(LtaskFn fn) {
+  const int id = next_ltask_id_++;
+  ltasks_.push_back({id, std::move(fn)});
+  return id;
+}
+
+void Server::unregister_ltask(int id) {
+  std::erase_if(ltasks_, [id](const auto& e) { return e.id == id; });
+}
+
+void Server::set_block_support(BlockSupport support) {
+  block_support_ = std::move(support);
+}
+
+void Server::set_work_probe(std::function<bool()> probe) {
+  work_probe_ = std::move(probe);
+}
+
+bool Server::has_work() const {
+  return armed_ > 0 || !posted_.empty() ||
+         (work_probe_ != nullptr && work_probe_());
+}
+
+void Server::arm() {
+  ++armed_;
+  update_method();
+  // Parked idle cores must resume polling for the new request.
+  node_.kick_idle_cpus();
+}
+
+void Server::disarm() {
+  PM2_ASSERT(armed_ > 0);
+  --armed_;
+  if (armed_ == 0) update_method();
+}
+
+void Server::arm_critical() {
+  ++critical_;
+  update_method();
+}
+
+void Server::disarm_critical() {
+  PM2_ASSERT(critical_ > 0);
+  --critical_;
+  if (critical_ == 0) update_method();
+}
+
+void Server::post(WorkFn work) {
+  ++stats_.posted_items;
+  posted_.push_back({std::move(work), marcel::detail::current_cpu()});
+  // §2.2: if a CPU is idle, process the event there; otherwise the item
+  // waits for a core to become idle or for the wait() flush.
+  if (marcel::Cpu* idle = node_.find_idle_cpu()) {
+    offload_tasklet_.schedule_on(*idle);
+  }
+}
+
+void Server::flush_posted() {
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  PM2_ASSERT_MSG(cpu != nullptr, "flush_posted outside a fiber");
+  while (!posted_.empty()) {
+    PostedItem item = std::move(posted_.front());
+    posted_.pop_front();
+    ++stats_.posted_flushed;
+    item.fn();
+  }
+}
+
+bool Server::run_posted(marcel::Cpu& cpu) {
+  bool any = false;
+  while (!posted_.empty()) {
+    PostedItem item = std::move(posted_.front());
+    posted_.pop_front();
+    if (item.poster != &cpu) {
+      // Request metadata lives in the poster's cache: model the transfer.
+      burn(cpu, cfg_.remote_exec_penalty);
+      ++stats_.posted_offloaded;
+    }
+    item.fn();
+    any = true;
+  }
+  return any;
+}
+
+bool Server::poll_round(marcel::Cpu& cpu) {
+  ++stats_.poll_rounds;
+  bool progress = false;
+  for (auto& entry : ltasks_) {
+    if (cfg_.ltask_poll_cost > 0) burn(cpu, cfg_.ltask_poll_cost);
+    progress = entry.fn(cpu) || progress;
+  }
+  return progress;
+}
+
+// ------------------------------------------------------------------ hooks
+
+bool Server::idle_hook(marcel::Cpu& cpu) {
+  if (!has_work()) return false;
+  // Tasklet-style exclusivity: a single core polls a given server at a
+  // time (§2.1 — events are processed one at a time, under light locks).
+  if (poll_owner_ != nullptr && poll_owner_ != &cpu &&
+      poll_owner_->idle_polling()) {
+    return false;  // someone else is on it; this core can halt
+  }
+  poll_owner_ = &cpu;
+  bool progress = run_posted(cpu);
+  progress = poll_round(cpu) || progress;
+  if (!has_work()) {
+    poll_owner_ = nullptr;
+    return false;  // everything completed: stop polling
+  }
+  if (!progress && cfg_.poll_gap > 0) {
+    burn(cpu, cfg_.poll_gap);  // busy-wait pacing between empty rounds
+  }
+  return has_work();
+}
+
+void Server::tick_hook(marcel::Cpu& cpu) {
+  // Timer interrupts are one of PIOMan's trigger points (§3.1).  When
+  // configured, pending submissions that found no idle core are dispatched
+  // here, bounding their latency by one tick period — at the price of
+  // preempting the computing thread (see Config::offload_on_tick).
+  if (cfg_.offload_on_tick && !posted_.empty()) {
+    offload_tasklet_.schedule_on(cpu);
+  }
+  update_method();
+}
+
+void Server::switch_hook(marcel::Cpu& cpu) {
+  // A core picked up new work; if it was the poller, hand the role to
+  // another idle core (engine context — keep it cheap).
+  if (armed_ == 0) return;
+  if (poll_owner_ == &cpu) poll_owner_ = nullptr;
+  update_method();
+}
+
+void Server::update_method() {
+  const bool want_block = cfg_.enable_blocking_lwp && critical_ > 0 &&
+                          block_support_.enable_interrupts != nullptr &&
+                          node_.idle_cpu_count() == 0;
+  const Method want = want_block ? Method::kBlocking : Method::kPolling;
+  if (want == method_) return;
+  method_ = want;
+  ++stats_.method_switches;
+  if (method_ == Method::kBlocking) {
+    if (!interrupts_enabled_ && block_support_.enable_interrupts) {
+      interrupts_enabled_ = true;
+      block_support_.enable_interrupts();
+    }
+  } else {
+    if (interrupts_enabled_ && block_support_.disable_interrupts) {
+      interrupts_enabled_ = false;
+      block_support_.disable_interrupts();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- offload
+
+void Server::offload_tasklet_body() {
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  PM2_ASSERT(cpu != nullptr);
+  run_posted(*cpu);
+}
+
+// -------------------------------------------------------------------- LWP
+
+void Server::lwp_body() {
+  for (;;) {
+    if (!lwp_has_event_) {
+      // Block in the (modelled) kernel until an interrupt arrives.
+      lwp_waiting_ = true;
+      marcel::this_thread::cpu().block_current();
+    }
+    lwp_has_event_ = false;
+    if (shutdown_) return;
+    // Interrupt handling + kernel wakeup path.
+    marcel::this_thread::compute(cfg_.interrupt_cost);
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    run_posted(cpu);
+    poll_round(cpu);
+  }
+}
+
+void Server::on_interrupt() {
+  ++stats_.interrupts;
+  if (lwp_ == nullptr) return;
+  if (lwp_waiting_) {
+    lwp_waiting_ = false;
+    lwp_has_event_ = true;
+    node_.wake(*lwp_);  // realtime priority: preempts a busy core
+  } else {
+    lwp_has_event_ = true;  // already running; it will loop once more
+  }
+}
+
+void Server::notify_work() { node_.kick_idle_cpus(); }
+
+void Server::shutdown() {
+  shutdown_ = true;
+  if (lwp_ != nullptr && lwp_waiting_) {
+    lwp_waiting_ = false;
+    lwp_has_event_ = true;
+    node_.wake(*lwp_);
+  }
+}
+
+}  // namespace pm2::piom

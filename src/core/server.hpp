@@ -1,0 +1,190 @@
+// PIOMan — the event server at the heart of the paper.
+//
+// One Server runs per node.  A communication library (NewMadeleine here)
+// registers *ltasks* — poll callbacks that advance its protocol state — and
+// *posts* deferred work items (e.g. the expensive injection of a small
+// message, §2.2).  The server then exploits Marcel's trigger points:
+//
+//  * idle cores run the poll callbacks and the posted work (offload),
+//  * timer ticks re-evaluate the detection method,
+//  * context switches hand the poller role to a newly idle core,
+//  * when every core is busy, a realtime "LWP" thread blocks on the NIC
+//    interrupt line and preempts on arrival (§3.2).
+//
+// Threads wait for completions through piom::Cond (see cond.hpp), whose
+// wait path flushes posted work and actively polls — so offloading never
+// *delays* communication, it only moves work off the critical path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/config.hpp"
+#include "marcel/node.hpp"
+#include "marcel/tasklet.hpp"
+
+namespace pm2::piom {
+
+/// Detection method currently in force (§3.2 "Rendezvous management").
+enum class Method : std::uint8_t {
+  kPolling,   // idle cores actively poll
+  kBlocking,  // interrupts armed; the LWP blocks on them
+};
+
+class Server {
+ public:
+  /// A poll source.  Runs on whatever core the server picked (service
+  /// fiber, LWP, or a waiting thread); may consume CPU time; returns true
+  /// if it made progress (completed or advanced at least one request).
+  using LtaskFn = std::function<bool(marcel::Cpu&)>;
+
+  /// Deferred work item (e.g. submit-to-NIC); may consume CPU time.
+  using WorkFn = std::function<void()>;
+
+  /// Hooks into the driver layer for interrupt-driven detection.
+  struct BlockSupport {
+    std::function<void()> enable_interrupts;
+    std::function<void()> disable_interrupts;
+  };
+
+  Server(marcel::Node& node, Config cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] marcel::Node& node() noexcept { return node_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  // ---- registration (communication library side) ----
+
+  /// Register a persistent poll source.  Returns an id for unregistering.
+  int register_ltask(LtaskFn fn);
+  void unregister_ltask(int id);
+
+  /// Provide (or clear) interrupt support; without it the server never
+  /// switches to the blocking method.
+  void set_block_support(BlockSupport support);
+
+  /// Cheap engine-context probe for externally visible work (e.g. packets
+  /// sitting in a NIC receive queue with no local request armed yet).
+  /// Idle cores keep polling while it returns true.
+  void set_work_probe(std::function<bool()> probe);
+
+  // ---- event posting ----
+
+  /// One more pollable request is outstanding: idle cores should poll.
+  void arm();
+  /// A pollable request completed.
+  void disarm();
+  [[nodiscard]] unsigned armed() const noexcept { return armed_; }
+
+  /// Reactivity-critical request (a rendezvous handshake, §2.3): when no
+  /// core is idle, these justify switching to the interrupt-driven
+  /// blocking LWP.  Plain eager traffic does not — its processing happens
+  /// in the wait path anyway, and an interrupt per packet would only
+  /// preempt the computing threads.
+  void arm_critical();
+  void disarm_critical();
+  [[nodiscard]] unsigned armed_critical() const noexcept {
+    return critical_;
+  }
+
+  /// Defer a work item (offloadable submission).  If an idle core exists
+  /// the item is dispatched to it through a tasklet; otherwise it stays
+  /// queued until an idle core appears or a waiter flushes it (§2.2).
+  void post(WorkFn work);
+
+  /// Execute all queued posted work on the calling fiber's CPU (wait path:
+  /// "the message is sent inside the wait function").
+  void flush_posted();
+
+  /// Number of posted items not yet executed.
+  [[nodiscard]] std::size_t posted_pending() const noexcept {
+    return posted_.size();
+  }
+
+  /// Run one round of all ltasks on `cpu`; true if any made progress.
+  bool poll_round(marcel::Cpu& cpu);
+
+  /// Driver-side notification: a NIC interrupt fired (blocking mode).
+  void on_interrupt();
+
+  /// Driver-side notification: pollable work appeared (e.g. a packet was
+  /// delivered); wakes parked idle cores so they resume polling.
+  void notify_work();
+
+  [[nodiscard]] Method method() const noexcept { return method_; }
+
+  /// Stop the LWP so the simulation can drain (call before destruction in
+  /// long-lived setups; optional for tests).
+  void shutdown();
+
+  // ---- statistics ----
+  struct Stats {
+    std::uint64_t poll_rounds = 0;
+    std::uint64_t posted_items = 0;
+    std::uint64_t posted_offloaded = 0;  // executed by a non-posting core
+    std::uint64_t posted_flushed = 0;    // executed inside a wait
+    std::uint64_t interrupts = 0;
+    std::uint64_t method_switches = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Cond;
+
+  struct PostedItem {
+    WorkFn fn;
+    marcel::Cpu* poster;
+  };
+
+  bool idle_hook(marcel::Cpu& cpu);
+  void tick_hook(marcel::Cpu& cpu);
+  void switch_hook(marcel::Cpu& cpu);
+  void offload_tasklet_body();
+  void lwp_body();
+  void update_method();
+  bool run_posted(marcel::Cpu& cpu);
+
+  marcel::Node& node_;
+  Config cfg_;
+
+  struct LtaskEntry {
+    int id;
+    LtaskFn fn;
+  };
+  std::vector<LtaskEntry> ltasks_;
+  int next_ltask_id_ = 1;
+
+  unsigned armed_ = 0;
+  unsigned critical_ = 0;  // subset of armed_ needing interrupt fallback
+  std::deque<PostedItem> posted_;
+  marcel::Tasklet offload_tasklet_;
+  marcel::Cpu* poll_owner_ = nullptr;
+
+  /// True when any request is armed, work is posted, or the probe reports
+  /// externally pending events.
+  [[nodiscard]] bool has_work() const;
+
+  BlockSupport block_support_;
+  std::function<bool()> work_probe_;
+  bool interrupts_enabled_ = false;
+  Method method_ = Method::kPolling;
+
+  marcel::Thread* lwp_ = nullptr;
+  bool lwp_waiting_ = false;
+  bool lwp_has_event_ = false;
+  bool shutdown_ = false;
+
+  int idle_hook_id_ = 0;
+  int tick_hook_id_ = 0;
+  int switch_hook_id_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace pm2::piom

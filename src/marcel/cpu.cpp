@@ -1,0 +1,381 @@
+#include "marcel/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "marcel/node.hpp"
+#include "marcel/runtime.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+thread_local Cpu* t_cpu = nullptr;
+thread_local Thread* t_thread = nullptr;
+
+}  // namespace
+
+namespace detail {
+Cpu* current_cpu() noexcept { return t_cpu; }
+Thread* current_thread() noexcept { return t_thread; }
+}  // namespace detail
+
+Cpu::Cpu(Node& node, unsigned index, const Config& cfg, sim::Engine& engine)
+    : node_(node),
+      index_(index),
+      cfg_(cfg),
+      engine_(engine),
+      service_fiber_([this] { service_body(); }, cfg.stack_bytes) {}
+
+// ---------------------------------------------------------------- enqueue
+
+void Cpu::enqueue(Thread& t, bool front) {
+  PM2_ASSERT(t.state_ != ThreadState::kFinished);
+  PM2_ASSERT_MSG(!t.rq_hook.is_linked(), "thread already on a runqueue");
+  const bool was_halted = !busy() && !dispatch_pending_;
+  t.state_ = ThreadState::kReady;
+  t.last_cpu_ = this;
+  auto& q = rq_[static_cast<unsigned>(t.prio_)];
+  front ? q.push_front(t) : q.push_back(t);
+  ++ready_count_;
+  note_new_work();
+  if (occ_ == Occupant::kThread && cur_thread_ != nullptr &&
+      t.prio_ > cur_thread_->prio_) {
+    request_resched(t.prio_ == Priority::kRealtime);
+  } else if (occ_ == Occupant::kService) {
+    // The service loop checks for ready threads between rounds; a realtime
+    // arrival cuts the current poll-gap short.
+    request_resched(t.prio_ == Priority::kRealtime);
+  }
+  kick(was_halted ? cfg_.wakeup_cost : 0);
+  // Surplus work (the core is occupied or more than one thread queued):
+  // nudge an idle sibling so it can steal.
+  if (busy() || ready_count_ > 1) node_.offer_steal(*this);
+}
+
+void Cpu::tasklet_enqueue(Tasklet& t) {
+  const bool was_halted = !busy() && !dispatch_pending_;
+  tasklets_.push_back(t);
+  note_new_work();
+  if (occ_ == Occupant::kService) need_resched_ = true;
+  kick(was_halted ? cfg_.wakeup_cost : 0);
+}
+
+void Cpu::note_new_work() noexcept {
+  ++work_seq_;
+  idle_park_ = false;
+}
+
+void Cpu::kick(SimDuration delay) {
+  if (busy()) return;  // the dispatcher runs again when the occupant yields
+  const SimTime when = engine_.now() + delay;
+  if (dispatch_pending_) {
+    if (when >= dispatch_time_) return;
+    engine_.cancel(dispatch_event_);
+  }
+  dispatch_pending_ = true;
+  dispatch_time_ = when;
+  dispatch_event_ = engine_.schedule_at(when, [this] {
+    dispatch_pending_ = false;
+    dispatch();
+  });
+}
+
+void Cpu::request_resched(bool hard) {
+  need_resched_ = true;
+  if (hard && busy() && resume_event_ != sim::kInvalidEventId) {
+    // Cut the in-flight compute chunk short: resume the occupant now so it
+    // reaches its preemption point immediately.
+    engine_.cancel(resume_event_);
+    resume_event_ = sim::kInvalidEventId;
+    engine_.schedule_now([this] { run_occupant(); });
+  }
+}
+
+// ---------------------------------------------------------------- dispatch
+
+void Cpu::dispatch() {
+  if (busy()) return;
+  ++stats_.dispatches;
+  if (!tasklets_.empty()) {
+    begin_run(Occupant::kService, nullptr);
+    return;
+  }
+  if (Thread* t = pick_thread()) {
+    begin_run(Occupant::kThread, t);
+    return;
+  }
+  if (cfg_.work_stealing) {
+    if (Thread* t = try_steal()) {
+      begin_run(Occupant::kThread, t);
+      return;
+    }
+  }
+  if (node_.has_idle_hooks() && !idle_park_) {
+    service_idle_mode_ = true;
+    begin_run(Occupant::kService, nullptr);
+    return;
+  }
+  // Nothing to do: the core halts until kicked again.
+}
+
+Thread* Cpu::pick_thread() {
+  for (int p = static_cast<int>(kNumPriorities) - 1; p >= 0; --p) {
+    if (Thread* t = rq_[p].pop_front()) {
+      --ready_count_;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+Thread* Cpu::try_steal() {
+  const unsigned n = node_.cpu_count();
+  for (unsigned i = 1; i < n; ++i) {
+    Cpu& victim = node_.cpu((index_ + i) % n);
+    if (victim.ready_count_ == 0) continue;
+    // Steal from the back of the victim's highest non-empty class: those
+    // threads have waited longest behind the victim's current occupant.
+    for (int p = static_cast<int>(kNumPriorities) - 1; p >= 0; --p) {
+      if (Thread* t = victim.rq_[p].pop_back()) {
+        --victim.ready_count_;
+        ++stats_.steals;
+        t->last_cpu_ = this;
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Cpu::begin_run(Occupant what, Thread* t) {
+  PM2_ASSERT(occ_ == Occupant::kNone);
+  occ_ = what;
+  cur_thread_ = t;
+  if (t != nullptr) t->state_ = ThreadState::kRunning;
+  ++stats_.ctx_switches;
+  need_resched_ = false;
+  slice_start_ = engine_.now();
+  if (node_.runtime().tracer() != nullptr) {
+    occ_label_ = t != nullptr ? t->name()
+                 : !tasklets_.empty() ? std::string("service:tasklets")
+                                      : std::string("service:idle-poll");
+  }
+  node_.run_switch_hooks(*this);
+  arm_tick();
+  if (cfg_.ctx_switch_cost > 0) {
+    charge(cfg_.ctx_switch_cost);
+    engine_.schedule_after(cfg_.ctx_switch_cost, [this] { run_occupant(); });
+  } else {
+    engine_.schedule_now([this] { run_occupant(); });
+  }
+}
+
+void Cpu::run_occupant() {
+  PM2_ASSERT(occ_ != Occupant::kNone);
+  resume_event_ = sim::kInvalidEventId;
+  sim::Fiber& f =
+      occ_ == Occupant::kThread ? cur_thread_->fiber_ : service_fiber_;
+  Cpu* prev_cpu = t_cpu;
+  Thread* prev_thread = t_thread;
+  t_cpu = this;
+  t_thread = occ_ == Occupant::kThread ? cur_thread_ : nullptr;
+  f.resume();
+  t_cpu = prev_cpu;
+  t_thread = prev_thread;
+  handle_suspension();
+}
+
+void Cpu::handle_suspension() {
+  if (occ_ == Occupant::kThread && cur_thread_->fiber_.finished()) {
+    trace_occupancy_end();
+    Thread* t = cur_thread_;
+    occ_ = Occupant::kNone;
+    cur_thread_ = nullptr;
+    finish_thread(*t);
+    kick();
+    return;
+  }
+  switch (last_suspend_) {
+    case SuspendReason::kCompute:
+      // Resume event already queued; the core stays busy.
+      return;
+    case SuspendReason::kYield:
+    case SuspendReason::kPreempted: {
+      trace_occupancy_end();
+      Thread* t = cur_thread_;
+      occ_ = Occupant::kNone;
+      cur_thread_ = nullptr;
+      enqueue(*t);  // back of its priority class
+      kick();
+      return;
+    }
+    case SuspendReason::kBlocked: {
+      PM2_ASSERT(cur_thread_ != nullptr &&
+                 cur_thread_->state_ == ThreadState::kBlocked);
+      trace_occupancy_end();
+      occ_ = Occupant::kNone;
+      cur_thread_ = nullptr;
+      kick();
+      return;
+    }
+    case SuspendReason::kServiceDone: {
+      trace_occupancy_end();
+      occ_ = Occupant::kNone;
+      service_idle_mode_ = false;
+      kick();
+      return;
+    }
+    case SuspendReason::kServicePark: {
+      trace_occupancy_end();
+      occ_ = Occupant::kNone;
+      service_idle_mode_ = false;
+      if (work_seq_ == service_round_seq_) {
+        idle_park_ = true;  // nothing new arrived during the failed round
+      }
+      if (ready_count_ > 0 || !tasklets_.empty() || !idle_park_) kick();
+      return;
+    }
+    case SuspendReason::kNone:
+      PM2_UNREACHABLE("occupant suspended without a reason");
+  }
+}
+
+void Cpu::finish_thread(Thread& t) {
+  t.state_ = ThreadState::kFinished;
+  while (Thread* j = t.joiners_.pop_front()) node_.wake(*j);
+}
+
+void Cpu::trace_occupancy_end() {
+  sim::Tracer* tracer = node_.runtime().tracer();
+  if (tracer == nullptr) return;
+  if (trace_track_.empty()) {
+    trace_track_ = "node" + std::to_string(node_.index()) + "/cpu" +
+                   std::to_string(index_);
+  }
+  const SimTime now = engine_.now();
+  if (now > slice_start_) {
+    tracer->span(trace_track_, occ_label_, slice_start_, now,
+                 occ_label_.rfind("service", 0) == 0 ? "service" : "thread");
+  }
+}
+
+// ---------------------------------------------------------------- timing
+
+void Cpu::arm_tick() {
+  if (tick_event_ != sim::kInvalidEventId || cfg_.timer_tick == 0) return;
+  tick_event_ = engine_.schedule_after(cfg_.timer_tick, [this] {
+    tick_event_ = sim::kInvalidEventId;
+    on_tick();
+  });
+}
+
+void Cpu::on_tick() {
+  if (occ_ == Occupant::kNone) return;  // halted: stop ticking
+  node_.run_tick_hooks(*this);
+  if (occ_ == Occupant::kThread &&
+      engine_.now() - slice_start_ >= cfg_.quantum && ready_count_ > 0) {
+    need_resched_ = true;
+  }
+  // Softirq semantics: pending tasklets run at the timer interrupt even on
+  // a busy core — cut the current compute chunk so the service fiber gets
+  // in (tasklets have "very high priority", §3.1).
+  if (!tasklets_.empty()) request_resched(true);
+  arm_tick();
+}
+
+// ---------------------------------------------------------------- fiber side
+
+SimDuration Cpu::compute_chunk(SimDuration d) {
+  PM2_ASSERT_MSG(t_cpu == this, "compute from a fiber not on this CPU");
+  PM2_ASSERT(busy());
+  if (d == 0) return 0;
+  if (need_resched_ && occ_ == Occupant::kThread) {
+    suspend_current(SuspendReason::kPreempted);
+    return d;  // caller refetches the (possibly new) CPU and continues
+  }
+  const SimDuration chunk = std::min<SimDuration>(d, cfg_.quantum);
+  chunk_start_ = engine_.now();
+  resume_event_ = engine_.schedule_after(chunk, [this] { run_occupant(); });
+  suspend_current(SuspendReason::kCompute);
+  // Resumed — possibly early if a hard preemption cut the chunk short.
+  const SimDuration elapsed =
+      std::min<SimDuration>(engine_.now() - chunk_start_, chunk);
+  charge(elapsed);
+  return d - std::min(d, elapsed);
+}
+
+void Cpu::yield_current() {
+  PM2_ASSERT(t_cpu == this && occ_ == Occupant::kThread);
+  suspend_current(SuspendReason::kYield);
+}
+
+void Cpu::block_current() {
+  PM2_ASSERT(t_cpu == this && occ_ == Occupant::kThread);
+  cur_thread_->state_ = ThreadState::kBlocked;
+  suspend_current(SuspendReason::kBlocked);
+}
+
+void Cpu::suspend_current(SuspendReason r) {
+  last_suspend_ = r;
+  sim::Fiber::suspend();
+}
+
+void Cpu::charge(SimDuration d) {
+  if (occ_ == Occupant::kThread) {
+    stats_.thread_busy_ns += d;
+    cur_thread_->cpu_time_ += d;
+  } else {
+    stats_.service_busy_ns += d;
+  }
+}
+
+// ---------------------------------------------------------------- service
+
+void Cpu::service_body() {
+  // NB: the service fiber is pinned to this CPU forever.
+  for (;;) {
+    need_resched_ = false;
+    // 1. Tasklets — highest priority work (§3.1 of the paper).
+    while (Tasklet* t = tasklets_.pop_front()) {
+      run_one_tasklet(*t);
+      if (ready_count_ > 0) break;  // a thread woke: stop hogging the core
+    }
+    if (!tasklets_.empty() || ready_count_ > 0 || !service_idle_mode_) {
+      suspend_current(SuspendReason::kServiceDone);
+      continue;
+    }
+    // 2. Idle polling round (PIOMan hooks).
+    service_round_seq_ = work_seq_;
+    const bool progress = node_.run_idle_hooks(*this);
+    if (progress) {
+      // Hooks consumed virtual time; loop for another round unless real
+      // work appeared meanwhile.
+      if (ready_count_ > 0 || !tasklets_.empty()) {
+        suspend_current(SuspendReason::kServiceDone);
+      }
+      continue;
+    }
+    suspend_current(SuspendReason::kServicePark);
+  }
+}
+
+void Cpu::run_one_tasklet(Tasklet& t) {
+  t.scheduled_ = false;
+  t.running_ = true;
+  ++t.runs_;
+  ++stats_.tasklets_run;
+  if (cfg_.tasklet_dispatch_cost > 0) {
+    SimDuration left = cfg_.tasklet_dispatch_cost;
+    while (left > 0) left = compute_chunk(left);
+  }
+  t.fn_();
+  t.running_ = false;
+  if (t.resched_target_ != nullptr) {
+    Cpu* target = t.resched_target_;
+    t.resched_target_ = nullptr;
+    t.schedule_on(*target);
+  }
+}
+
+}  // namespace pm2::marcel

@@ -1,0 +1,191 @@
+// One virtual core: per-priority runqueues, a tasklet queue, and a service
+// fiber that executes tasklets and idle-time polling (PIOMan's hooks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/intrusive_list.hpp"
+#include "common/simtime.hpp"
+#include "marcel/config.hpp"
+#include "marcel/tasklet.hpp"
+#include "marcel/thread.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace pm2::marcel {
+
+class Node;
+
+/// Why the occupying fiber suspended — set by the fiber-side helpers and
+/// consumed by the engine-side dispatcher.
+enum class SuspendReason : std::uint8_t {
+  kNone,
+  kCompute,       // resume event already scheduled; CPU stays busy
+  kYield,         // thread gives up the CPU, stays ready
+  kPreempted,     // like kYield, but caused by need_resched
+  kBlocked,       // waiting on a sync object / communication event
+  kServiceDone,   // service fiber batch complete, re-decide
+  kServicePark,   // service fiber found no work at all
+};
+
+class Cpu {
+ public:
+  Cpu(Node& node, unsigned index, const Config& cfg, sim::Engine& engine);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  [[nodiscard]] Node& node() noexcept { return node_; }
+  /// Index of the CPU within its node.
+  [[nodiscard]] unsigned index() const noexcept { return index_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  // ----- engine/fiber-context API (scheduler) -----
+
+  /// Make a thread runnable on this CPU.  `front` puts it ahead of its
+  /// priority class (used for realtime wakeups).
+  void enqueue(Thread& t, bool front = false);
+
+  /// Queue a tasklet (called via Tasklet::schedule_on).
+  void tasklet_enqueue(Tasklet& t);
+
+  /// Ensure a dispatch will happen; `delay` models IPI/wakeup latency.
+  void kick(SimDuration delay = 0);
+
+  /// Record that new pollable work exists: clears the idle-park latch so
+  /// the next dispatch may re-enter the idle-polling loop.
+  void note_new_work() noexcept;
+
+  /// True while some fiber logically occupies the core.
+  [[nodiscard]] bool busy() const noexcept { return occ_ != Occupant::kNone; }
+
+  /// True when the core runs nothing and has nothing queued.
+  [[nodiscard]] bool idle() const noexcept {
+    return occ_ == Occupant::kNone && ready_count_ == 0 && tasklets_.empty();
+  }
+
+  /// True if the core is currently inside the idle-polling service loop
+  /// (counts as "available" for PIOMan placement decisions).
+  [[nodiscard]] bool idle_polling() const noexcept {
+    return occ_ == Occupant::kService && service_idle_mode_;
+  }
+
+  [[nodiscard]] Thread* current_thread() noexcept {
+    return occ_ == Occupant::kThread ? cur_thread_ : nullptr;
+  }
+
+  /// Request a reschedule at the occupant's next preemption point.  When
+  /// `hard` is set and the occupant is mid-compute, the compute chunk is cut
+  /// short immediately (used for realtime/interrupt wakeups).
+  void request_resched(bool hard = false);
+
+  /// Number of ready threads queued here.
+  [[nodiscard]] std::size_t runnable() const noexcept { return ready_count_; }
+  [[nodiscard]] bool has_tasklets() const noexcept {
+    return !tasklets_.empty();
+  }
+
+  // ----- fiber-context API (called by the occupying fiber) -----
+
+  /// Consume up to one chunk of CPU time; returns the amount still to
+  /// compute.  Callers loop via this_thread::compute(), re-fetching the
+  /// current CPU each iteration because a preemption may migrate the
+  /// thread.  Also usable from the service fiber (tasklet/poll costs).
+  [[nodiscard]] SimDuration compute_chunk(SimDuration d);
+
+  /// Yield from the current thread.
+  void yield_current();
+
+  /// Block the current thread; a waker must hold the Thread* and call
+  /// Node::wake() later.
+  void block_current();
+
+  // ----- statistics -----
+  struct Stats {
+    SimDuration thread_busy_ns = 0;   // application thread compute
+    SimDuration service_busy_ns = 0;  // tasklets + idle polling
+    std::uint64_t tasklets_run = 0;
+    std::uint64_t ctx_switches = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t dispatches = 0;
+
+    void merge(const Stats& o) noexcept {
+      thread_busy_ns += o.thread_busy_ns;
+      service_busy_ns += o.service_busy_ns;
+      tasklets_run += o.tasklets_run;
+      ctx_switches += o.ctx_switches;
+      steals += o.steals;
+      dispatches += o.dispatches;
+    }
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Node;
+
+  enum class Occupant : std::uint8_t { kNone, kThread, kService };
+
+  // Engine-context internals.
+  void dispatch();
+  void begin_run(Occupant what, Thread* t);
+  void run_occupant();
+  void handle_suspension();
+  Thread* pick_thread();
+  Thread* try_steal();
+  void arm_tick();
+  void on_tick();
+  void finish_thread(Thread& t);
+  void trace_occupancy_end();
+
+  // Fiber-context internals.
+  void service_body();
+  void run_one_tasklet(Tasklet& t);
+  void suspend_current(SuspendReason r);
+  void charge(SimDuration d);
+
+  Node& node_;
+  unsigned index_;
+  const Config& cfg_;
+  sim::Engine& engine_;
+
+  IntrusiveList<Thread, &Thread::rq_hook> rq_[kNumPriorities];
+  std::size_t ready_count_ = 0;
+  IntrusiveList<Tasklet, &Tasklet::queue_hook> tasklets_;
+
+  sim::Fiber service_fiber_;
+  bool service_idle_mode_ = false;
+  std::uint64_t work_seq_ = 0;          // bumped by note_new_work()
+  std::uint64_t service_round_seq_ = 0; // work_seq_ at idle-round start
+  bool idle_park_ = false;              // idle polling found nothing; wait for new work
+
+  Occupant occ_ = Occupant::kNone;
+  Thread* cur_thread_ = nullptr;
+  SuspendReason last_suspend_ = SuspendReason::kNone;
+  bool need_resched_ = false;
+
+  bool dispatch_pending_ = false;
+  sim::EventId dispatch_event_ = sim::kInvalidEventId;
+  SimTime dispatch_time_ = 0;
+
+  sim::EventId resume_event_ = sim::kInvalidEventId;
+  SimTime chunk_start_ = 0;
+  SimTime slice_start_ = 0;
+
+  sim::EventId tick_event_ = sim::kInvalidEventId;
+
+  // Tracing: label of the current occupancy span (set in begin_run).
+  std::string occ_label_;
+  std::string trace_track_;  // cached "node<i>/cpu<j>"
+
+  Stats stats_;
+};
+
+namespace detail {
+/// The CPU occupied by the calling fiber (nullptr in engine context).
+[[nodiscard]] Cpu* current_cpu() noexcept;
+/// The thread owning the calling fiber (nullptr on service fibers).
+[[nodiscard]] Thread* current_thread() noexcept;
+}  // namespace detail
+
+}  // namespace pm2::marcel

@@ -1,0 +1,26 @@
+#include "marcel/runtime.hpp"
+
+#include "common/assert.hpp"
+
+namespace pm2::marcel {
+
+Runtime::Runtime(sim::Engine& engine, Config cfg)
+    : engine_(engine), cfg_(cfg) {
+  PM2_ASSERT(cfg_.nodes >= 1 && cfg_.cpus_per_node >= 1);
+  nodes_.reserve(cfg_.nodes);
+  for (unsigned i = 0; i < cfg_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i, cfg_, engine));
+  }
+}
+
+Cpu::Stats Runtime::total_stats() const noexcept {
+  Cpu::Stats total;
+  for (const auto& node : nodes_) {
+    for (unsigned c = 0; c < node->cpu_count(); ++c) {
+      total.merge(node->cpu(c).stats());
+    }
+  }
+  return total;
+}
+
+}  // namespace pm2::marcel

@@ -1,0 +1,44 @@
+// The Marcel runtime: owns the simulated machine (nodes × CPUs) on top of a
+// discrete-event engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "marcel/config.hpp"
+#include "marcel/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace pm2::marcel {
+
+class Runtime {
+ public:
+  Runtime(sim::Engine& engine, Config cfg);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] unsigned node_count() const noexcept {
+    return static_cast<unsigned>(nodes_.size());
+  }
+  [[nodiscard]] Node& node(unsigned i) noexcept { return *nodes_[i]; }
+
+  /// Sum of per-CPU stats across the machine.
+  [[nodiscard]] Cpu::Stats total_stats() const noexcept;
+
+  /// Attach a timeline tracer (nullptr detaches).  CPUs then emit one span
+  /// per occupancy period (thread / tasklet batch / idle polling).
+  void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+ private:
+  sim::Engine& engine_;
+  Config cfg_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace pm2::marcel

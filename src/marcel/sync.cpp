@@ -1,0 +1,143 @@
+#include "marcel/sync.hpp"
+
+#include "common/assert.hpp"
+#include "marcel/cpu.hpp"
+#include "marcel/node.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+Thread& current_thread_checked() {
+  Thread* t = this_thread::self();
+  PM2_ASSERT_MSG(t != nullptr,
+                 "blocking primitive used outside a marcel thread "
+                 "(tasklets and idle hooks must not block)");
+  return *t;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Mutex
+
+void Mutex::lock() {
+  Thread& self = current_thread_checked();
+  PM2_ASSERT_MSG(owner_ != &self, "recursive lock of a non-recursive mutex");
+  if (owner_ == nullptr) {
+    owner_ = &self;
+    return;
+  }
+  waiters_.push_back(self);
+  detail::current_cpu()->block_current();
+  // unlock() handed ownership to us before waking.
+  PM2_ASSERT(owner_ == &self);
+}
+
+bool Mutex::try_lock() {
+  Thread& self = current_thread_checked();
+  if (owner_ != nullptr) return false;
+  owner_ = &self;
+  return true;
+}
+
+void Mutex::unlock() {
+  PM2_ASSERT_MSG(owner_ == this_thread::self(), "unlock by non-owner");
+  if (Thread* next = waiters_.pop_front()) {
+    owner_ = next;  // direct hand-off: no barging
+    next->node().wake(*next);
+  } else {
+    owner_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------- CondVar
+
+void CondVar::wait(Mutex& m) {
+  Thread& self = current_thread_checked();
+  PM2_ASSERT_MSG(m.owner() == &self, "cond wait without holding the mutex");
+  waiters_.push_back(self);
+  m.unlock();
+  detail::current_cpu()->block_current();
+  m.lock();
+}
+
+bool CondVar::wait_for(Mutex& m, SimDuration timeout) {
+  Thread& self = current_thread_checked();
+  PM2_ASSERT_MSG(m.owner() == &self, "cond wait without holding the mutex");
+  sim::Engine& engine = self.node().engine();
+  bool timer_fired = false;  // safe by-address capture: cancelled below
+  waiters_.push_back(self);
+  m.unlock();
+  Thread* self_ptr = &self;
+  const sim::EventId timer = engine.schedule_after(
+      timeout, [this, self_ptr, &timer_fired] {
+        if (self_ptr->wait_hook.is_linked()) {
+          timer_fired = true;
+          waiters_.erase(*self_ptr);
+          self_ptr->node().wake(*self_ptr);
+        }
+      });
+  detail::current_cpu()->block_current();
+  engine.cancel(timer);
+  m.lock();
+  return !timer_fired;
+}
+
+void CondVar::notify_one() {
+  if (Thread* t = waiters_.pop_front()) t->node().wake(*t);
+}
+
+void CondVar::notify_all() {
+  while (Thread* t = waiters_.pop_front()) t->node().wake(*t);
+}
+
+// -------------------------------------------------------------- Semaphore
+
+void Semaphore::acquire() {
+  Thread& self = current_thread_checked();
+  if (count_ > 0) {
+    --count_;
+    return;
+  }
+  waiters_.push_back(self);
+  detail::current_cpu()->block_current();
+  // release() consumed the unit on our behalf.
+}
+
+bool Semaphore::try_acquire() {
+  if (count_ == 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release(std::size_t n) {
+  while (n > 0) {
+    if (Thread* t = waiters_.pop_front()) {
+      t->node().wake(*t);  // unit handed directly to the waiter
+    } else {
+      ++count_;
+    }
+    --n;
+  }
+}
+
+// ---------------------------------------------------------------- Barrier
+
+Barrier::Barrier(std::size_t parties) : parties_(parties) {
+  PM2_ASSERT(parties >= 1);
+}
+
+void Barrier::arrive_and_wait() {
+  Thread& self = current_thread_checked();
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    while (Thread* t = waiters_.pop_front()) t->node().wake(*t);
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  waiters_.push_back(self);
+  detail::current_cpu()->block_current();
+  PM2_ASSERT(generation_ != gen);
+}
+
+}  // namespace pm2::marcel

@@ -1,0 +1,27 @@
+#include "marcel/tasklet.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "marcel/cpu.hpp"
+
+namespace pm2::marcel {
+
+Tasklet::Tasklet(Fn fn, std::string name)
+    : fn_(std::move(fn)), name_(std::move(name)) {
+  PM2_ASSERT(fn_ != nullptr);
+}
+
+void Tasklet::schedule_on(Cpu& target) {
+  if (scheduled_) return;  // already queued somewhere (Linux SCHED bit)
+  if (running_) {
+    // Re-queue after the current run finishes — preserves the guarantee
+    // that the tasklet never runs concurrently with itself.
+    resched_target_ = &target;
+    return;
+  }
+  scheduled_ = true;
+  target.tasklet_enqueue(*this);
+}
+
+}  // namespace pm2::marcel

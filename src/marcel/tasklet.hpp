@@ -1,0 +1,52 @@
+// Tasklets: deferred, very-high-priority work units, with the Linux
+// semantics the paper relies on (§3.1): a tasklet never runs concurrently
+// with itself, runs "as soon as the scheduler reaches a point where it is
+// safe to let it run", and a schedule() issued while the tasklet is running
+// re-queues it for another pass.
+//
+// PIOMan executes NewMadeleine's progression callbacks inside tasklets: the
+// non-reentrancy is what makes per-event mutual exclusion cheap (§2.1).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/intrusive_list.hpp"
+
+namespace pm2::marcel {
+
+class Cpu;
+
+class Tasklet {
+ public:
+  using Fn = std::function<void()>;
+
+  explicit Tasklet(Fn fn, std::string name = "tasklet");
+
+  Tasklet(const Tasklet&) = delete;
+  Tasklet& operator=(const Tasklet&) = delete;
+
+  /// Queue the tasklet on `target`.  No-op if already queued somewhere.
+  /// If currently executing, it will be re-queued (on `target`) once the
+  /// current run completes.
+  void schedule_on(Cpu& target);
+
+  [[nodiscard]] bool scheduled() const noexcept { return scheduled_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+
+  ListHook queue_hook;  // Cpu tasklet-queue linkage
+
+ private:
+  friend class Cpu;
+
+  Fn fn_;
+  std::string name_;
+  bool scheduled_ = false;   // queued, waiting to run (Linux TASKLET_STATE_SCHED)
+  bool running_ = false;     // body executing (Linux TASKLET_STATE_RUN)
+  Cpu* resched_target_ = nullptr;  // schedule() arrived while running
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace pm2::marcel

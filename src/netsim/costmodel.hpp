@@ -1,0 +1,126 @@
+// Calibrated cost model of the simulated interconnect (Myri-10G/MX-like)
+// and of the CPU work the host must perform to drive it.
+//
+// The defaults reproduce the ranges reported in the paper's testbed
+// (§4: MYRI-10G, MX 1.2.3): ~2 µs wire latency, 10 Gb/s links, eager
+// injection costing "up to several dozens of microseconds" of CPU for
+// multi-KiB messages, and a 32 KiB rendezvous threshold.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simtime.hpp"
+
+namespace pm2::net {
+
+struct CostModel {
+  // ---- wire (inter-node) ----
+  /// Per-packet propagation + switch latency.
+  SimDuration wire_latency = 1800;  // ns
+  /// Serialization: ns per byte on the link (0.8 ns/B = 1.25 GB/s = 10 Gb/s).
+  double wire_ns_per_byte = 0.8;
+
+  // ---- CPU costs charged to the core driving the NIC ----
+  /// Base cost of submitting one packet (doorbell, descriptor setup).
+  SimDuration inject_base = 450;  // ns
+  /// Per-byte CPU cost of the eager path: copy into registered memory or
+  /// PIO into NIC windows.  This is the cost §2.2 offloads to idle cores.
+  double inject_ns_per_byte = 1.45;
+  /// Programming a zero-copy DMA (rendezvous data): descriptor only, no
+  /// payload touching.
+  SimDuration dma_setup = 600;  // ns
+
+  // ---- intra-node shared-memory channel ----
+  SimDuration intra_latency = 200;  // ns
+  double intra_ns_per_byte = 0.30;  // one copy through the shm ring
+  /// CPU cost of pushing a message into the shm ring: base + per-byte
+  /// memcpy (no registration, no PIO — much cheaper than the NIC path).
+  SimDuration intra_inject_base = 200;  // ns
+  double intra_inject_ns_per_byte = 0.30;
+
+  /// Messages at or below this ride PIO (same CPU-cost curve; kept for the
+  /// capability report and ablations).
+  std::size_t pio_max = 128;
+
+  /// Uniform random extra wire latency in [0, wire_jitter_ns], drawn from
+  /// the fabric's seeded RNG (deterministic).  Models switch queueing /
+  /// congestion noise; FIFO order per link is preserved.  0 disables.
+  SimDuration wire_jitter_ns = 0;
+  std::uint64_t jitter_seed = 0x7a21;
+
+  /// Link MTU: payloads larger than this are segmented into frames, each
+  /// paying `frame_overhead` of extra serialization (headers, inter-frame
+  /// gap).  0 = jumbo frames / no segmentation (MX-like default).
+  std::size_t mtu = 0;
+  SimDuration frame_overhead = 100;  // ns per extra frame
+
+  [[nodiscard]] SimDuration inject_cost(std::size_t bytes,
+                                        bool intra = false) const noexcept {
+    if (intra) {
+      return intra_inject_base +
+             static_cast<SimDuration>(intra_inject_ns_per_byte *
+                                      static_cast<double>(bytes));
+    }
+    return inject_base +
+           static_cast<SimDuration>(inject_ns_per_byte *
+                                    static_cast<double>(bytes));
+  }
+
+  [[nodiscard]] SimDuration wire_time(std::size_t bytes) const noexcept {
+    return static_cast<SimDuration>(wire_ns_per_byte *
+                                    static_cast<double>(bytes));
+  }
+
+  [[nodiscard]] SimDuration intra_time(std::size_t bytes) const noexcept {
+    return static_cast<SimDuration>(intra_ns_per_byte *
+                                    static_cast<double>(bytes));
+  }
+
+  /// Link bandwidth in bytes/ns (for striping proportions).
+  [[nodiscard]] double bandwidth_bytes_per_ns() const noexcept {
+    return wire_ns_per_byte > 0 ? 1.0 / wire_ns_per_byte : 0.0;
+  }
+
+  // ---- presets for the interconnects NewMadeleine supports (§3.1) ----
+
+  /// Myri-10G + MX (the paper's testbed) — these are the defaults.
+  [[nodiscard]] static CostModel myri10g() noexcept { return CostModel{}; }
+
+  /// InfiniBand DDR / Verbs: lower latency, 2 GB/s, costlier registration.
+  [[nodiscard]] static CostModel infiniband_ddr() noexcept {
+    CostModel cm;
+    cm.wire_latency = 1300;
+    cm.wire_ns_per_byte = 0.5;  // ~2 GB/s
+    cm.inject_base = 600;       // registration/doorbell overhead
+    cm.inject_ns_per_byte = 1.3;
+    cm.dma_setup = 700;
+    return cm;
+  }
+
+  /// Quadrics QsNet II / Elan4: very low latency, ~0.9 GB/s.
+  [[nodiscard]] static CostModel qsnet_elan4() noexcept {
+    CostModel cm;
+    cm.wire_latency = 1100;
+    cm.wire_ns_per_byte = 1.1;
+    cm.inject_base = 350;
+    cm.inject_ns_per_byte = 1.2;
+    cm.dma_setup = 500;
+    return cm;
+  }
+
+  /// Gigabit Ethernet + kernel TCP: high latency, 125 MB/s, heavy CPU.
+  [[nodiscard]] static CostModel gige_tcp() noexcept {
+    CostModel cm;
+    cm.wire_latency = 30'000;     // ~30 µs through the kernel stack
+    cm.wire_ns_per_byte = 8.0;    // 1 Gb/s
+    cm.inject_base = 3'000;       // syscall + skb path
+    cm.inject_ns_per_byte = 2.5;  // copies through the socket buffer
+    cm.dma_setup = 3'000;         // no real RDMA: modelled as kernel copy
+    cm.mtu = 1500;
+    cm.frame_overhead = 500;
+    return cm;
+  }
+};
+
+}  // namespace pm2::net

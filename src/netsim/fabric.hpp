@@ -1,0 +1,77 @@
+// The interconnect: all NICs plus the link model (latency + serialization
+// with per-link occupancy, FIFO delivery per link).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "netsim/costmodel.hpp"
+#include "netsim/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace pm2::net {
+
+class Fabric {
+ public:
+  /// Homogeneous rails: every rail uses `cost`.
+  Fabric(sim::Engine& engine, unsigned nodes, unsigned rails, CostModel cost);
+
+  /// Heterogeneous rails (e.g. Myrinet + InfiniBand side by side — the
+  /// multirail configuration NewMadeleine targets): one CostModel per
+  /// rail.  Intra-node parameters are taken from rail 0.
+  Fabric(sim::Engine& engine, unsigned nodes,
+         std::vector<CostModel> rail_costs);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  /// Rail-0 cost model (intra-node parameters live here).
+  [[nodiscard]] const CostModel& cost() const noexcept { return costs_[0]; }
+  /// Cost model of a specific rail.
+  [[nodiscard]] const CostModel& cost(unsigned rail) const noexcept {
+    return costs_[rail];
+  }
+  [[nodiscard]] unsigned nodes() const noexcept { return nodes_; }
+  [[nodiscard]] unsigned rails() const noexcept { return rails_; }
+
+  [[nodiscard]] Nic& nic(unsigned node, unsigned rail = 0) noexcept;
+
+  /// RDMA registry is per *node* (all rails of a node share the memory
+  /// registration unit), so multirail stripes can target one buffer.
+  [[nodiscard]] RdmaHandle register_rdma(unsigned node,
+                                         std::span<std::byte> target);
+  void unregister_rdma(unsigned node, RdmaHandle h);
+  [[nodiscard]] std::span<std::byte> rdma_target(unsigned node,
+                                                 RdmaHandle h) const;
+
+ private:
+  friend class Nic;
+
+  /// Schedule delivery of `event` from (src,rail) to dst, `bytes` long on
+  /// the wire.  Applies latency + serialization + link occupancy.
+  void transmit(unsigned src, unsigned dst, unsigned rail, std::size_t bytes,
+                RxEvent event, Nic::Completion on_delivered,
+                std::size_t rdma_offset = 0);
+
+  /// Directed link occupancy: when the (src,dst,rail) serializer frees up.
+  SimTime& busy_until(unsigned src, unsigned dst, unsigned rail) noexcept;
+
+  sim::Engine& engine_;
+  unsigned nodes_;
+  unsigned rails_;
+  std::vector<CostModel> costs_;  // one per rail
+  std::vector<std::unique_ptr<Nic>> nics_;  // [node * rails + rail]
+  std::vector<SimTime> busy_;               // [src][dst][rail] flattened
+  std::vector<SimTime> last_arrival_;       // per link, keeps FIFO w/ jitter
+  sim::Rng jitter_rng_;
+
+  std::vector<std::map<RdmaHandle, std::span<std::byte>>> rdma_;  // per node
+  RdmaHandle next_rdma_ = 1;
+};
+
+}  // namespace pm2::net

@@ -1,0 +1,65 @@
+// NewMadeleine configuration: progression mode, scheduling strategy, and
+// protocol thresholds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simtime.hpp"
+
+namespace pm2::nm {
+
+/// Who makes communication progress.
+enum class ProgressMode : std::uint8_t {
+  /// The original, non-multithreaded NewMadeleine: everything happens on
+  /// the application thread, inside isend/irecv/wait.  This is the paper's
+  /// baseline ("no copy offloading" / "no RDV progression").
+  kAppDriven,
+  /// The paper's contribution: submissions are offloaded to idle cores via
+  /// PIOMan and the protocol state machines progress in the background.
+  kPioman,
+};
+
+/// Optimizer/scheduler strategy applied to the outgoing flow (Fig. 3).
+enum class StrategyKind : std::uint8_t {
+  kFifo,       // one queued pack = one wire packet
+  kAggregate,  // coalesce queued small packs to the same gate
+  kMultirail,  // stripe large transfers across all rails
+};
+
+struct Config {
+  ProgressMode mode = ProgressMode::kPioman;
+  StrategyKind strategy = StrategyKind::kFifo;
+
+  /// Messages strictly larger than this use the rendezvous protocol
+  /// (MX uses 32 KiB, §2.3).
+  std::size_t rdv_threshold = 32 * 1024;
+
+  /// Adaptive offload (the paper's §5 future work): eager sends strictly
+  /// smaller than this are submitted inline even in PIOMan mode — their
+  /// injection is cheaper than the ~2 µs offload machinery.  0 keeps the
+  /// paper's always-offload behaviour.
+  std::size_t offload_min_bytes = 0;
+
+  /// Aggregation strategy: maximum coalesced wire packet payload.
+  std::size_t aggregate_max = 8 * 1024;
+
+  /// Multirail strategy: stripe only messages at least this large.
+  std::size_t multirail_min = 64 * 1024;
+
+  /// CPU cost per byte for receive-side copies (NIC buffer → user buffer,
+  /// or packet → unexpected-message buffer, §2.2 "receive path").
+  double copy_ns_per_byte = 0.35;
+
+  /// Fixed CPU cost of processing one received packet (header parse,
+  /// matching).
+  SimDuration rx_base_cost = 250;  // ns
+
+  /// Fixed CPU cost of registering a request (isend/irecv bookkeeping).
+  SimDuration post_cost = 180;  // ns
+
+  /// Busy-wait pacing of the app-driven wait loop (baseline mode).
+  SimDuration app_poll_gap = 300;  // ns
+};
+
+}  // namespace pm2::nm

@@ -1,0 +1,510 @@
+#include "nmad/core.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "marcel/cpu.hpp"
+
+namespace pm2::nm {
+
+Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
+           Config cfg)
+    : node_(node),
+      fabric_(fabric),
+      server_(server),
+      cfg_(cfg),
+      strategy_(make_strategy(cfg_.strategy, cfg_)) {
+  PM2_ASSERT((server_ != nullptr) == (cfg_.mode == ProgressMode::kPioman));
+  for (unsigned p = 0; p < fabric_.nodes(); ++p) {
+    gates_.emplace_back();
+    gates_.back().peer = p;
+  }
+  if (server_ != nullptr) {
+    ltask_id_ = server_->register_ltask(
+        [this](marcel::Cpu& cpu) { return progress(cpu); });
+    // Idle cores keep polling while packets sit in a local NIC queue even
+    // if no local request is armed yet (unexpected-message processing).
+    server_->set_work_probe([this] {
+      for (unsigned r = 0; r < fabric_.rails(); ++r) {
+        if (fabric_.nic(node_id(), r).rx_pending()) return true;
+      }
+      return false;
+    });
+    for (unsigned r = 0; r < fabric_.rails(); ++r) {
+      fabric_.nic(node_id(), r).set_rx_notify([this] {
+        server_->notify_work();
+      });
+    }
+    server_->set_block_support({
+        .enable_interrupts =
+            [this] {
+              for (unsigned r = 0; r < fabric_.rails(); ++r) {
+                fabric_.nic(node_id(), r).arm_interrupts([this] {
+                  server_->on_interrupt();
+                });
+              }
+            },
+        .disable_interrupts =
+            [this] {
+              for (unsigned r = 0; r < fabric_.rails(); ++r) {
+                fabric_.nic(node_id(), r).disarm_interrupts();
+              }
+            },
+    });
+  }
+}
+
+Core::~Core() {
+  if (server_ != nullptr) server_->unregister_ltask(ltask_id_);
+}
+
+// -------------------------------------------------------- request recycling
+
+Request* Core::acquire() {
+  Request* req;
+  if (!freelist_.empty()) {
+    req = freelist_.back();
+    freelist_.pop_back();
+  } else {
+    pool_.push_back(std::make_unique<Request>());
+    req = pool_.back().get();
+  }
+  req->state = Request::State::kQueued;
+  req->send_data = {};
+  req->recv_buf = {};
+  req->received_len = 0;
+  req->rdv_id = 0;
+  req->rdma_handle = 0;
+  req->rdv_expected = 0;
+  req->parts_left = 0;
+  req->critical = false;
+  req->done = false;
+  if (server_ != nullptr) {
+    if (req->cond.has_value()) {
+      req->cond->reset();
+    } else {
+      req->cond.emplace(*server_);
+    }
+  }
+  return req;
+}
+
+void Core::release(Request* req) {
+  PM2_ASSERT(req != nullptr && req->done);
+  PM2_ASSERT_MSG(!req->hook.is_linked(), "releasing a queued request");
+  req->state = Request::State::kFree;
+  freelist_.push_back(req);
+}
+
+void Core::complete(Request& req) {
+  PM2_ASSERT(!req.done);
+  req.state = Request::State::kCompleted;
+  req.done = true;
+  const double latency = to_us(fabric_.engine().now() - req.issued_at);
+  (req.op == Request::Op::kSend ? send_lat_ : recv_lat_).add(latency);
+  if (req.cond.has_value()) req.cond->signal();
+  if (server_ != nullptr) {
+    if (req.critical) {
+      req.critical = false;
+      server_->disarm_critical();
+    }
+    server_->disarm();
+  }
+}
+
+// ------------------------------------------------------------- public API
+
+Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
+  PM2_ASSERT(dst < fabric_.nodes());
+  charge(cfg_.post_cost);
+  Request* req = acquire();
+  req->op = Request::Op::kSend;
+  req->peer = dst;
+  req->tag = tag;
+  req->seq = flows_[{dst, tag}].send_next++;
+  req->send_data = data;
+  req->state = Request::State::kQueued;
+  req->issued_at = fabric_.engine().now();
+  ++stats_.sends;
+
+  Gate& gate = gates_[dst];
+  if (server_ != nullptr && data.size() > cfg_.rdv_threshold) {
+    // Rendezvous: the RTS is a header-only packet, cheap to submit, and
+    // the handshake needs reactivity (§3.2 "it submits the corresponding
+    // requests to PIOMan in order to ensure the progression") — send it
+    // right away instead of deferring it with the expensive eager copies.
+    server_->arm();
+    const unsigned rail = gate.rr_rail;
+    gate.rr_rail = (gate.rr_rail + 1) % rails();
+    inject_rts(gate, rail, *req);
+    return req;
+  }
+  gate.sendq.push_back(*req);
+  if (server_ != nullptr) {
+    server_->arm();
+    if (data.size() < cfg_.offload_min_bytes) {
+      // Adaptive strategy (§5 future work): for tiny messages the inline
+      // injection is cheaper than the offload machinery.
+      flush_gate(gate);
+      return req;
+    }
+    // §2.2: register the request, raise an event; the submission (the
+    // expensive copy) happens on whichever core PIOMan picks.
+    server_->post([this, &gate] { flush_gate(gate); });
+  } else {
+    // Classical engine: the communicating thread submits right here, which
+    // is why "even a non-blocking send may take several dozens of µs".
+    flush_gate(gate);
+  }
+  return req;
+}
+
+Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
+  PM2_ASSERT(src < fabric_.nodes());
+  charge(cfg_.post_cost);
+  Request* req = acquire();
+  req->op = Request::Op::kRecv;
+  req->peer = src;
+  req->tag = tag;
+  req->seq = flows_[{src, tag}].recv_next++;
+  req->recv_buf = buffer;
+  req->state = Request::State::kPosted;
+  req->issued_at = fabric_.engine().now();
+  ++stats_.recvs;
+  if (server_ != nullptr) {
+    server_->arm();
+    if (buffer.size() > cfg_.rdv_threshold) {
+      // A rendezvous is (very likely) inbound: the RTS must be answered
+      // promptly even if every core is computing — blocking-LWP material.
+      req->critical = true;
+      server_->arm_critical();
+    }
+  }
+
+  const MatchKey key{src, tag, req->seq};
+  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+    // The message already arrived and sits in the unexpected buffer:
+    // second copy into the application buffer (§2.2 receive path).
+    const auto& payload = it->second.payload;
+    PM2_ASSERT_MSG(payload.size() <= buffer.size(),
+                   "receive buffer too small");
+    charge_copy(payload.size());
+    std::memcpy(buffer.data(), payload.data(), payload.size());
+    req->received_len = payload.size();
+    unexpected_.erase(it);
+    complete(*req);
+    return req;
+  }
+  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
+    const UnexpectedRts rts = it->second;
+    unexpected_rts_.erase(it);
+    start_rdv_recv(*req, src, rts.rdv, rts.size);
+    return req;
+  }
+  posted_recvs_[key] = req;
+  return req;
+}
+
+void Core::wait(Request* req) {
+  PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  if (server_ != nullptr) {
+    req->cond->wait();
+  } else {
+    // App-driven progression: this thread does all the work.
+    while (!req->done) {
+      marcel::Cpu& cpu = marcel::this_thread::cpu();
+      const bool progressed = progress(cpu);
+      if (!req->done && !progressed && cfg_.app_poll_gap > 0) {
+        marcel::this_thread::compute(cfg_.app_poll_gap);
+      }
+    }
+  }
+  release(req);
+}
+
+bool Core::test(Request* req) {
+  PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  if (!req->done) {
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    if (server_ != nullptr) {
+      if (server_->posted_pending() > 0) server_->flush_posted();
+      server_->poll_round(cpu);
+    } else {
+      progress(cpu);
+    }
+  }
+  if (req->done) {
+    release(req);
+    return true;
+  }
+  return false;
+}
+
+Status Core::wait_for(Request* req, SimDuration timeout) {
+  PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  if (server_ != nullptr) {
+    const Status st = req->cond->wait_for(timeout);
+    if (st == Status::kOk) release(req);
+    return st;
+  }
+  const SimTime deadline = fabric_.engine().now() + timeout;
+  while (!req->done) {
+    if (fabric_.engine().now() >= deadline) return Status::kTimedOut;
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    const bool progressed = progress(cpu);
+    if (!req->done && !progressed && cfg_.app_poll_gap > 0) {
+      marcel::this_thread::compute(cfg_.app_poll_gap);
+    }
+  }
+  release(req);
+  return Status::kOk;
+}
+
+bool Core::probe(unsigned src, Tag tag) const {
+  // A message the *next* irecv(src, tag) would match: the flow's next
+  // receive sequence number, already sitting in an unexpected buffer.
+  const auto flow = flows_.find({src, tag});
+  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
+  const MatchKey key{src, tag, next};
+  return unexpected_.contains(key) || unexpected_rts_.contains(key);
+}
+
+bool Core::progress(marcel::Cpu&) {
+  bool any = false;
+  for (unsigned r = 0; r < fabric_.rails(); ++r) {
+    net::Nic& nic = fabric_.nic(node_id(), r);
+    while (auto ev = nic.poll()) {
+      handle_event(std::move(*ev));
+      any = true;
+    }
+  }
+  return any;
+}
+
+// ------------------------------------------------------------ submission
+
+void Core::flush_gate(Gate& gate) {
+  if (gate.sendq.empty()) return;  // a previous flush already drained it
+  strategy_->flush(*this, gate);
+}
+
+void Core::inject_eager_batch(Gate& gate, unsigned rail,
+                              std::span<Request* const> reqs) {
+  PM2_ASSERT(!reqs.empty());
+  std::vector<std::byte> pkt;
+  if (reqs.size() == 1) {
+    Request& r = *reqs[0];
+    WireHeader hdr;
+    hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+    hdr.tag = r.tag;
+    hdr.seq = r.seq;
+    hdr.size = static_cast<std::uint32_t>(r.send_data.size());
+    pkt.reserve(sizeof hdr + r.send_data.size());
+    append_header(pkt, hdr);
+    append_payload(pkt, r.send_data);
+  } else {
+    WireHeader outer;
+    outer.kind = static_cast<std::uint8_t>(PacketKind::kAggregate);
+    outer.count = static_cast<std::uint16_t>(reqs.size());
+    append_header(pkt, outer);
+    for (Request* r : reqs) {
+      WireHeader sub;
+      sub.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+      sub.tag = r->tag;
+      sub.seq = r->seq;
+      sub.size = static_cast<std::uint32_t>(r->send_data.size());
+      append_header(pkt, sub);
+      append_payload(pkt, r->send_data);
+    }
+    stats_.aggregated_msgs += reqs.size();
+  }
+  ++stats_.wire_packets;
+  stats_.eager_sends += reqs.size();
+  fabric_.nic(node_id(), rail).inject(gate.peer, pkt);
+  // Buffered-send semantics: the payload now lives in registered memory /
+  // on the wire, so the requests complete.
+  for (Request* r : reqs) complete(*r);
+}
+
+void Core::inject_rts(Gate& gate, unsigned rail, Request& req) {
+  req.state = Request::State::kRdvHandshake;
+  req.rdv_id = next_rdv_++;
+  rdv_sends_[req.rdv_id] = &req;
+  // The handshake needs reactivity (§2.3): if every core turns busy, the
+  // blocking LWP must watch for the CTS.  Cleared on completion.
+  if (server_ != nullptr && !req.critical) {
+    req.critical = true;
+    server_->arm_critical();
+  }
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kRts);
+  hdr.tag = req.tag;
+  hdr.seq = req.seq;
+  hdr.size = static_cast<std::uint32_t>(req.send_data.size());
+  hdr.rdv = req.rdv_id;
+  std::vector<std::byte> pkt;
+  append_header(pkt, hdr);
+  ++stats_.rdv_sends;
+  ++stats_.wire_packets;
+  fabric_.nic(node_id(), rail).inject(gate.peer, pkt);
+}
+
+// ------------------------------------------------------------- reception
+
+void Core::handle_event(net::RxEvent ev) {
+  charge(cfg_.rx_base_cost);
+  if (ev.kind == net::RxEvent::Kind::kRdmaDone) {
+    handle_rdma_done(ev);
+    return;
+  }
+  const std::span<const std::byte> pkt(ev.data);
+  std::size_t off = 0;
+  const WireHeader hdr = read_header(pkt, off);
+  switch (static_cast<PacketKind>(hdr.kind)) {
+    case PacketKind::kEager:
+      handle_eager(ev.src_node, hdr, read_payload(pkt, off, hdr.size));
+      break;
+    case PacketKind::kAggregate:
+      for (unsigned i = 0; i < hdr.count; ++i) {
+        const WireHeader sub = read_header(pkt, off);
+        PM2_ASSERT(static_cast<PacketKind>(sub.kind) == PacketKind::kEager);
+        handle_eager(ev.src_node, sub, read_payload(pkt, off, sub.size));
+      }
+      break;
+    case PacketKind::kRts:
+      handle_rts(ev.src_node, hdr);
+      break;
+    case PacketKind::kCts:
+      handle_cts(hdr);
+      break;
+    default:
+      PM2_UNREACHABLE("corrupt packet kind");
+  }
+}
+
+void Core::handle_eager(unsigned src, const WireHeader& hdr,
+                        std::span<const std::byte> payload) {
+  // Charge the (single) copy cost *before* consulting the match table:
+  // charging consumes virtual CPU time, i.e. it is a suspension point, and
+  // the application may post the matching irecv while we are suspended.
+  // All matching decisions must happen after the last suspension point —
+  // the simulation analogue of §2.1's per-event mutual exclusion.
+  charge_copy(payload.size());
+  const MatchKey key{src, hdr.tag, hdr.seq};
+  if (auto it = posted_recvs_.find(key); it != posted_recvs_.end()) {
+    Request* req = it->second;
+    posted_recvs_.erase(it);
+    PM2_ASSERT_MSG(payload.size() <= req->recv_buf.size(),
+                   "receive buffer too small");
+    // Expected message: single copy, NIC buffer → application buffer,
+    // done by whoever is processing (an idle core, with PIOMan).
+    std::memcpy(req->recv_buf.data(), payload.data(), payload.size());
+    req->received_len = payload.size();
+    ++stats_.expected_eager;
+    complete(*req);
+  } else {
+    // Unexpected: park a copy in the dedicated unexpected-message buffer.
+    unexpected_.emplace(
+        key, UnexpectedEager{{payload.begin(), payload.end()}});
+    ++stats_.unexpected_eager;
+  }
+}
+
+void Core::handle_rts(unsigned src, const WireHeader& hdr) {
+  const MatchKey key{src, hdr.tag, hdr.seq};
+  if (auto it = posted_recvs_.find(key); it != posted_recvs_.end()) {
+    Request* req = it->second;
+    posted_recvs_.erase(it);
+    start_rdv_recv(*req, src, hdr.rdv, hdr.size);
+  } else {
+    unexpected_rts_.emplace(key, UnexpectedRts{hdr.rdv, hdr.size});
+    ++stats_.unexpected_rts;
+  }
+}
+
+void Core::start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
+                          std::uint32_t size) {
+  PM2_ASSERT_MSG(size <= req.recv_buf.size(),
+                 "receive buffer too small for rendezvous message");
+  req.state = Request::State::kDataInFlight;
+  req.received_len = 0;
+  req.rdv_expected = size;
+  req.rdv_id = rdv;
+  // Detecting the zero-copy completion is reactivity-critical too.
+  if (server_ != nullptr && !req.critical) {
+    req.critical = true;
+    server_->arm_critical();
+  }
+  net::Nic& nic = fabric_.nic(node_id(), 0);
+  req.rdma_handle = nic.register_buffer(req.recv_buf.first(size));
+  rdma_recvs_[req.rdma_handle] = &req;
+  // Answer the handshake: the data will land zero-copy in the application
+  // buffer instead of the unexpected-message area (§2.3).
+  WireHeader cts;
+  cts.kind = static_cast<std::uint8_t>(PacketKind::kCts);
+  cts.tag = req.tag;
+  cts.seq = req.seq;
+  cts.size = size;
+  cts.rdv = rdv;
+  cts.handle = req.rdma_handle;
+  std::vector<std::byte> pkt;
+  append_header(pkt, cts);
+  ++stats_.wire_packets;
+  nic.inject(src, pkt);
+}
+
+void Core::handle_cts(const WireHeader& hdr) {
+  const auto it = rdv_sends_.find(hdr.rdv);
+  PM2_ASSERT_MSG(it != rdv_sends_.end(), "CTS for an unknown rendezvous");
+  Request& req = *it->second;
+  rdv_sends_.erase(it);
+  req.rdma_handle = hdr.handle;
+  send_rdv_data(req);
+}
+
+void Core::send_rdv_data(Request& req) {
+  req.state = Request::State::kDataInFlight;
+  const auto plan = strategy_->plan_rdv(*this, req.send_data.size());
+  PM2_ASSERT(!plan.empty());
+  req.parts_left = static_cast<unsigned>(plan.size());
+  for (const auto& stripe : plan) {
+    fabric_.nic(node_id(), stripe.rail)
+        .rdma_put(
+            req.peer, req.rdma_handle,
+            req.send_data.subspan(stripe.offset, stripe.length),
+            [this, &req] {
+              if (--req.parts_left == 0) complete(req);
+            },
+            stripe.offset);
+  }
+}
+
+void Core::handle_rdma_done(const net::RxEvent& ev) {
+  const auto it = rdma_recvs_.find(ev.rdma);
+  PM2_ASSERT_MSG(it != rdma_recvs_.end(),
+                 "RDMA completion for an unknown receive");
+  Request& req = *it->second;
+  req.received_len += ev.rdma_len;
+  PM2_ASSERT(req.received_len <= req.rdv_expected);
+  if (req.received_len == req.rdv_expected) {
+    rdma_recvs_.erase(it);
+    fabric_.nic(node_id(), 0).unregister_buffer(req.rdma_handle);
+    complete(req);
+  }
+}
+
+// ------------------------------------------------------------------ misc
+
+void Core::charge(SimDuration d) {
+  PM2_ASSERT_MSG(marcel::detail::current_cpu() != nullptr,
+                 "protocol work outside a simulated core");
+  marcel::this_thread::compute(d);
+}
+
+void Core::charge_copy(std::size_t bytes) {
+  charge(static_cast<SimDuration>(cfg_.copy_ns_per_byte *
+                                  static_cast<double>(bytes)));
+}
+
+}  // namespace pm2::nm

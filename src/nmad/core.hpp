@@ -1,0 +1,185 @@
+// NewMadeleine core: tag-matched asynchronous message passing over the
+// simulated fabric, with pluggable scheduling strategies and two
+// progression modes (app-driven baseline vs PIOMan offload).
+//
+// Public API mirrors the calls in the paper's benchmarks (Fig. 4/7):
+//   Request* s = core.isend(dst, tag, data);   // nm_isend
+//   Request* r = core.irecv(src, tag, buffer); // nm_irecv
+//   core.wait(s);                              // nm_swait / nm_rwait
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "common/intrusive_list.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "core/server.hpp"
+#include "marcel/node.hpp"
+#include "netsim/fabric.hpp"
+#include "nmad/config.hpp"
+#include "nmad/request.hpp"
+#include "nmad/strategy.hpp"
+#include "nmad/wire.hpp"
+
+namespace pm2::nm {
+
+/// Connection state towards one peer node (all rails).
+struct Gate {
+  unsigned peer = 0;
+  IntrusiveList<Request, &Request::hook> sendq;  // packs awaiting submission
+  unsigned rr_rail = 0;                          // round-robin rail cursor
+
+  Gate() = default;
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+};
+
+class Core {
+ public:
+  /// `server` is null in ProgressMode::kAppDriven (the baseline).
+  Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
+       Config cfg);
+  ~Core();
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  // ---------------- public messaging API ----------------
+
+  /// Non-blocking tagged send to node `dst`.  `data` must remain valid
+  /// until the request completes.  `dst == node_id()` uses the intra-node
+  /// shared-memory channel.
+  [[nodiscard]] Request* isend(unsigned dst, Tag tag,
+                               std::span<const std::byte> data);
+
+  /// Non-blocking tagged receive from node `src` into `buffer` (must be at
+  /// least as large as the incoming message).
+  [[nodiscard]] Request* irecv(unsigned src, Tag tag,
+                               std::span<std::byte> buffer);
+
+  /// Block until `req` completes, then recycle it (the pointer becomes
+  /// invalid).  In PIOMan mode the wait flushes offloaded work first and
+  /// participates in polling; in baseline mode it performs the whole
+  /// progression itself.
+  void wait(Request* req);
+
+  /// Non-blocking completion check; on true the request is recycled and
+  /// the pointer becomes invalid.
+  [[nodiscard]] bool test(Request* req);
+
+  /// Like wait() but bounded: returns kOk (request recycled) or kTimedOut
+  /// after `timeout` of virtual time (request stays valid; wait again or
+  /// keep testing).
+  [[nodiscard]] Status wait_for(Request* req, SimDuration timeout);
+
+  /// True if a matching message (eager or RTS) already arrived and is
+  /// buffered — an irecv would complete without waiting.  Non-consuming.
+  [[nodiscard]] bool probe(unsigned src, Tag tag) const;
+
+  /// One progression round: drain NIC events, advance protocol state.
+  /// Returns true if anything happened.  Exposed for PIOMan's ltask and
+  /// for baseline wait loops.
+  bool progress(marcel::Cpu& cpu);
+
+  // ---------------- introspection ----------------
+
+  [[nodiscard]] unsigned node_id() const noexcept { return node_.index(); }
+  [[nodiscard]] marcel::Node& node() noexcept { return node_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] piom::Server* server() noexcept { return server_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] unsigned rails() const noexcept { return fabric_.rails(); }
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t eager_sends = 0;
+    std::uint64_t rdv_sends = 0;
+    std::uint64_t expected_eager = 0;    // matched on arrival (single copy)
+    std::uint64_t unexpected_eager = 0;  // buffered (double copy)
+    std::uint64_t unexpected_rts = 0;
+    std::uint64_t wire_packets = 0;
+    std::uint64_t aggregated_msgs = 0;  // messages that shared a packet
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Post-to-completion latency samples (µs), by operation kind.
+  [[nodiscard]] Samples& send_latency_us() noexcept { return send_lat_; }
+  [[nodiscard]] Samples& recv_latency_us() noexcept { return recv_lat_; }
+
+  // ---------------- strategy-facing helpers ----------------
+
+  /// Build one wire packet from `reqs` (one kEager, or one kAggregate if
+  /// several), inject it on `rail`, and complete the send requests.
+  void inject_eager_batch(Gate& gate, unsigned rail,
+                          std::span<Request* const> reqs);
+
+  /// Submit a rendezvous RTS for `req` on `rail`.
+  void inject_rts(Gate& gate, unsigned rail, Request& req);
+
+ private:
+  using MatchKey = std::tuple<unsigned, Tag, Seq>;  // (src, tag, seq)
+
+  struct Flow {
+    Seq send_next = 0;
+    Seq recv_next = 0;
+  };
+
+  struct UnexpectedEager {
+    std::vector<std::byte> payload;
+  };
+  struct UnexpectedRts {
+    std::uint64_t rdv = 0;
+    std::uint32_t size = 0;
+  };
+
+  Request* acquire();
+  void release(Request* req);
+  void complete(Request& req);
+
+  void flush_gate(Gate& gate);
+  void handle_event(net::RxEvent ev);
+  void handle_eager(unsigned src, const WireHeader& hdr,
+                    std::span<const std::byte> payload);
+  void handle_rts(unsigned src, const WireHeader& hdr);
+  void handle_cts(const WireHeader& hdr);
+  void handle_rdma_done(const net::RxEvent& ev);
+  void start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
+                      std::uint32_t size);
+  void send_rdv_data(Request& req);
+
+  /// Charge CPU time to the calling fiber's core.
+  void charge(SimDuration d);
+  void charge_copy(std::size_t bytes);
+
+  marcel::Node& node_;
+  net::Fabric& fabric_;
+  piom::Server* server_;
+  Config cfg_;
+  std::unique_ptr<Strategy> strategy_;
+  std::deque<Gate> gates_;  // indexed by peer node id
+
+  std::map<std::pair<unsigned, Tag>, Flow> flows_;
+  std::map<MatchKey, Request*> posted_recvs_;
+  std::map<MatchKey, UnexpectedEager> unexpected_;
+  std::map<MatchKey, UnexpectedRts> unexpected_rts_;
+  std::map<std::uint64_t, Request*> rdv_sends_;   // rdv id -> send request
+  std::map<std::uint64_t, Request*> rdma_recvs_;  // handle -> recv request
+  std::uint64_t next_rdv_ = 1;
+
+  int ltask_id_ = 0;
+
+  std::deque<std::unique_ptr<Request>> pool_;
+  std::vector<Request*> freelist_;
+  Stats stats_;
+  Samples send_lat_;
+  Samples recv_lat_;
+};
+
+}  // namespace pm2::nm

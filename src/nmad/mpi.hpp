@@ -1,0 +1,128 @@
+// A thin MPI-flavoured layer over NewMadeleine — the integration direction
+// the paper names as future work (§5: "we plan to integrate this
+// multithreaded communication engine in MPICH2").
+//
+// One rank per simulated node (the hybrid model of §1: one MPI process per
+// node, several threads inside).  Point-to-point maps 1:1 onto nm::Core;
+// collectives are classic algorithms (dissemination barrier, binomial
+// broadcast, ring all-reduce) built on the same isend/irecv, so they
+// inherit the engine's overlap properties.
+//
+// Collectives must be called by exactly one thread per rank, in the same
+// order on every rank (MPI semantics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nmad/core.hpp"
+
+namespace pm2::mpi {
+
+/// Per-rank communicator handle.  Cheap to copy around inside a rank's
+/// threads; owns only a pointer to the rank's nm::Core plus the collective
+/// sequence counter.
+class Comm {
+ public:
+  /// `core` is the rank's NewMadeleine instance; `size` the world size.
+  Comm(nm::Core& core, unsigned size) noexcept
+      : core_(&core), size_(size) {}
+
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(core_->node_id());
+  }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(size_); }
+
+  // ---------------- point to point ----------------
+
+  [[nodiscard]] nm::Request* isend(int dst, int tag,
+                                   std::span<const std::byte> data) {
+    return core_->isend(static_cast<unsigned>(dst), user_tag(tag), data);
+  }
+  [[nodiscard]] nm::Request* irecv(int src, int tag,
+                                   std::span<std::byte> buffer) {
+    return core_->irecv(static_cast<unsigned>(src), user_tag(tag), buffer);
+  }
+  void wait(nm::Request* req) { core_->wait(req); }
+  [[nodiscard]] bool test(nm::Request* req) { return core_->test(req); }
+
+  /// Blocking convenience wrappers.
+  void send(int dst, int tag, std::span<const std::byte> data) {
+    wait(isend(dst, tag, data));
+  }
+  void recv(int src, int tag, std::span<std::byte> buffer) {
+    wait(irecv(src, tag, buffer));
+  }
+
+  // ---------------- collectives ----------------
+
+  /// Dissemination barrier: ⌈log2(n)⌉ rounds of pairwise exchanges.
+  void barrier();
+
+  /// Binomial-tree broadcast from `root`.
+  void bcast(std::span<std::byte> buffer, int root);
+
+  /// Ring all-reduce (sum) over doubles: reduce-scatter + all-gather.
+  /// `data.size()` need not divide the world size.
+  void allreduce_sum(std::span<double> data);
+
+  /// Gather equal-sized contributions to `root`; `recv` must hold
+  /// size()*send.size() bytes on the root (ignored elsewhere).
+  void gather(std::span<const std::byte> send, std::span<std::byte> recv,
+              int root);
+
+  /// Scatter equal slices of `send` (root only; size()*recv.size() bytes)
+  /// so rank r receives slice r into `recv`.
+  void scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+               int root);
+
+  /// All ranks end up with everyone's equal-sized contribution:
+  /// `recv` holds size()*send.size() bytes (ring algorithm).
+  void allgather(std::span<const std::byte> send, std::span<std::byte> recv);
+
+  /// Reduce (sum of doubles) onto `root`; `data` is both input and, on the
+  /// root, the output.  Non-roots' buffers are left unspecified.
+  void reduce_sum(std::span<double> data, int root);
+
+  /// Personalized all-to-all: `send` and `recv` both hold size() blocks of
+  /// `block` bytes; block r of `send` goes to rank r, block r of `recv`
+  /// comes from rank r.
+  void alltoall(std::span<const std::byte> send, std::span<std::byte> recv,
+                std::size_t block);
+
+  /// Combined send+receive with distinct peers (deadlock-free).
+  void sendrecv(int dst, std::span<const std::byte> send, int src,
+                std::span<std::byte> recv, int tag = 0);
+
+  /// Underlying engine access (statistics etc.).
+  [[nodiscard]] nm::Core& core() noexcept { return *core_; }
+
+ private:
+  /// User tags live below the collective tag space.
+  static constexpr nm::Tag kUserTagLimit = 1u << 24;
+  static constexpr nm::Tag kCollectiveBase = kUserTagLimit;
+
+  [[nodiscard]] static nm::Tag user_tag(int tag) noexcept {
+    return static_cast<nm::Tag>(tag) % kUserTagLimit;
+  }
+  /// Collective-internal transfers use the raw (full-range) tag.
+  nm::Request* isend_raw(int dst, nm::Tag tag,
+                         std::span<const std::byte> data) {
+    return core_->isend(static_cast<unsigned>(dst), tag, data);
+  }
+  nm::Request* irecv_raw(int src, nm::Tag tag, std::span<std::byte> buffer) {
+    return core_->irecv(static_cast<unsigned>(src), tag, buffer);
+  }
+  /// Fresh tag for one collective round; the per-rank counters advance in
+  /// lockstep because collectives are called in the same order everywhere.
+  [[nodiscard]] nm::Tag next_coll_tag() noexcept {
+    return kCollectiveBase + (coll_seq_++ & 0xffffu);
+  }
+
+  nm::Core* core_;
+  unsigned size_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace pm2::mpi

@@ -1,0 +1,62 @@
+#include "nmad/pack.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "marcel/cpu.hpp"
+
+namespace pm2::nm {
+namespace {
+
+void charge_copy(const Config& cfg, std::size_t bytes) {
+  marcel::this_thread::compute(static_cast<SimDuration>(
+      cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+
+}  // namespace
+
+void Pack::add(std::span<const std::byte> segment) {
+  PM2_ASSERT_MSG(!sent_, "Pack::add after send");
+  staging_.insert(staging_.end(), segment.begin(), segment.end());
+  ++segments_;
+}
+
+Request* Pack::send() {
+  PM2_ASSERT_MSG(!sent_, "Pack sent twice");
+  sent_ = true;
+  // Gather cost: one pass over the payload (the inserts above are host
+  // work; the modelled copy is charged here, on the sending fiber).
+  charge_copy(core_.config(), staging_.size());
+  return core_.isend(dst_, tag_, staging_);
+}
+
+void Unpack::add(std::span<std::byte> segment) {
+  segments_.push_back(segment);
+  total_ += segment.size();
+}
+
+void Unpack::recv_and_wait() {
+  std::vector<std::byte> staging(total_);
+  Request* req = core_.irecv(src_, tag_, staging);
+  // Observe the actual length before wait() recycles the request.
+  while (!req->done) {
+    (void)core_.progress(marcel::this_thread::cpu());
+    if (!req->done) {
+      marcel::this_thread::compute(core_.config().app_poll_gap > 0
+                                       ? core_.config().app_poll_gap
+                                       : SimDuration{100});
+    }
+  }
+  PM2_ASSERT_MSG(req->received_len == total_,
+                 "Unpack layout does not match the received message");
+  core_.wait(req);
+  // Scatter into the user segments.
+  charge_copy(core_.config(), total_);
+  std::size_t offset = 0;
+  for (const auto segment : segments_) {
+    std::memcpy(segment.data(), staging.data() + offset, segment.size());
+    offset += segment.size();
+  }
+}
+
+}  // namespace pm2::nm

@@ -1,0 +1,79 @@
+// The Madeleine-style pack interface (Fig. 3, "Madeleine layer"): build a
+// message from several non-contiguous segments, send it as one unit, and
+// scatter it back into segments on the receive side.  Both sides must
+// describe the same segment layout (Madeleine "express" semantics).
+//
+//   nm::Pack pack(core, dst, tag);
+//   pack.add(header_bytes);
+//   pack.add(row0); pack.add(row1);
+//   nm::Request* req = pack.send();
+//   core.wait(req);                 // Pack must outlive the wait
+//
+//   nm::Unpack unpack(core, src, tag);
+//   unpack.add(header_bytes);
+//   unpack.add(row0); unpack.add(row1);
+//   unpack.recv_and_wait();         // blocks, then segments are filled
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nmad/core.hpp"
+
+namespace pm2::nm {
+
+class Pack {
+ public:
+  /// Targets one message to `dst` with `tag`.
+  Pack(Core& core, unsigned dst, Tag tag)
+      : core_(core), dst_(dst), tag_(tag) {}
+
+  Pack(const Pack&) = delete;
+  Pack& operator=(const Pack&) = delete;
+
+  /// Append a segment (gather-copied into the staging buffer; the CPU
+  /// cost of the copy is charged at send()).
+  void add(std::span<const std::byte> segment);
+
+  /// Submit the gathered message.  The Pack object owns the staging
+  /// buffer and must outlive the request's completion.
+  [[nodiscard]] Request* send();
+
+  [[nodiscard]] std::size_t size() const noexcept { return staging_.size(); }
+  [[nodiscard]] std::size_t segments() const noexcept { return segments_; }
+
+ private:
+  Core& core_;
+  unsigned dst_;
+  Tag tag_;
+  std::vector<std::byte> staging_;
+  std::size_t segments_ = 0;
+  bool sent_ = false;
+};
+
+class Unpack {
+ public:
+  Unpack(Core& core, unsigned src, Tag tag)
+      : core_(core), src_(src), tag_(tag) {}
+
+  Unpack(const Unpack&) = delete;
+  Unpack& operator=(const Unpack&) = delete;
+
+  /// Describe the next segment to fill, in the sender's add() order.
+  void add(std::span<std::byte> segment);
+
+  /// Post the receive, wait for the whole message, scatter into the
+  /// segments.  Aborts if the received size does not match the layout.
+  void recv_and_wait();
+
+  [[nodiscard]] std::size_t size() const noexcept { return total_; }
+
+ private:
+  Core& core_;
+  unsigned src_;
+  Tag tag_;
+  std::vector<std::span<std::byte>> segments_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pm2::nm

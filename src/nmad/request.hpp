@@ -1,0 +1,66 @@
+// Communication requests: the objects isend/irecv hand back and wait()
+// consumes.  Owned and recycled by nm::Core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/intrusive_list.hpp"
+#include "core/cond.hpp"
+#include "nmad/wire.hpp"
+
+namespace pm2::nm {
+
+class Core;
+
+struct Request {
+  enum class Op : std::uint8_t { kSend, kRecv };
+
+  enum class State : std::uint8_t {
+    kFree,          // on the freelist
+    kQueued,        // send: in the gate's submission queue
+    kRdvHandshake,  // send: RTS submitted, waiting for CTS
+    kDataInFlight,  // rdv data moving (both sides)
+    kPosted,        // recv: waiting for a matching message
+    kCompleted,
+  };
+
+  Op op = Op::kSend;
+  State state = State::kFree;
+  unsigned peer = 0;
+  Tag tag = 0;
+  Seq seq = 0;
+
+  /// Send side: the user payload (must stay valid until completion).
+  std::span<const std::byte> send_data;
+  /// Recv side: the user buffer.
+  std::span<std::byte> recv_buf;
+  /// Recv side: actual message length after completion.
+  std::size_t received_len = 0;
+
+  /// When the request was posted (latency accounting).
+  SimTime issued_at = 0;
+
+  /// Rendezvous bookkeeping.
+  std::uint64_t rdv_id = 0;
+  std::uint64_t rdma_handle = 0;
+  std::size_t rdv_expected = 0;  // recv: total bytes the RTS announced
+  unsigned parts_left = 0;       // multirail stripes not yet landed
+
+  /// Reactivity-critical (rendezvous phase): counted in the PIOMan
+  /// server's critical-arm so the blocking LWP watches for its events.
+  bool critical = false;
+
+  /// Completion flag; in PIOMan mode `cond` additionally wakes waiters.
+  bool done = false;
+  std::optional<piom::Cond> cond;
+
+  ListHook hook;  // gate submission queue linkage
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return op == Op::kSend ? send_data.size() : recv_buf.size();
+  }
+};
+
+}  // namespace pm2::nm

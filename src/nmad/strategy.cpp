@@ -1,0 +1,150 @@
+#include "nmad/strategy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "nmad/core.hpp"
+
+namespace pm2::nm {
+namespace {
+
+/// One pack per packet, everything on rail 0: the reference behaviour.
+class FifoStrategy final : public Strategy {
+ public:
+  explicit FifoStrategy(const Config& cfg) : cfg_(cfg) {}
+
+  const char* name() const noexcept override { return "fifo"; }
+
+  void flush(Core& core, Gate& gate) override {
+    while (Request* req = gate.sendq.pop_front()) {
+      if (req->send_data.size() > cfg_.rdv_threshold) {
+        core.inject_rts(gate, 0, *req);
+      } else {
+        Request* one[] = {req};
+        core.inject_eager_batch(gate, 0, one);
+      }
+    }
+  }
+
+  std::vector<Stripe> plan_rdv(Core&, std::size_t size) override {
+    return {Stripe{0, 0, size}};
+  }
+
+ private:
+  const Config& cfg_;
+};
+
+/// Coalesce consecutive queued small packs to the same gate into one wire
+/// packet (up to aggregate_max payload bytes) — the aggregation
+/// optimization of [2] that the event-driven model enables (§2.1).
+class AggregateStrategy final : public Strategy {
+ public:
+  explicit AggregateStrategy(const Config& cfg) : cfg_(cfg) {}
+
+  const char* name() const noexcept override { return "aggregate"; }
+
+  void flush(Core& core, Gate& gate) override {
+    std::vector<Request*> batch;
+    std::size_t batch_bytes = 0;
+    auto emit = [&] {
+      if (!batch.empty()) {
+        core.inject_eager_batch(gate, 0, batch);
+        batch.clear();
+        batch_bytes = 0;
+      }
+    };
+    while (Request* req = gate.sendq.pop_front()) {
+      if (req->send_data.size() > cfg_.rdv_threshold) {
+        emit();
+        core.inject_rts(gate, 0, *req);
+        continue;
+      }
+      if (!batch.empty() &&
+          batch_bytes + req->send_data.size() > cfg_.aggregate_max) {
+        emit();
+      }
+      batch.push_back(req);
+      batch_bytes += req->send_data.size();
+    }
+    emit();
+  }
+
+  std::vector<Stripe> plan_rdv(Core&, std::size_t size) override {
+    return {Stripe{0, 0, size}};
+  }
+
+ private:
+  const Config& cfg_;
+};
+
+/// Use all rails: eager packets round-robin, rendezvous data striped
+/// proportionally (equal-bandwidth rails → equal stripes).
+class MultirailStrategy final : public Strategy {
+ public:
+  explicit MultirailStrategy(const Config& cfg) : cfg_(cfg) {}
+
+  const char* name() const noexcept override { return "multirail"; }
+
+  void flush(Core& core, Gate& gate) override {
+    while (Request* req = gate.sendq.pop_front()) {
+      const unsigned rail = gate.rr_rail;
+      gate.rr_rail = (gate.rr_rail + 1) % core.rails();
+      if (req->send_data.size() > cfg_.rdv_threshold) {
+        core.inject_rts(gate, rail, *req);
+      } else {
+        Request* one[] = {req};
+        core.inject_eager_batch(gate, rail, one);
+      }
+    }
+  }
+
+  std::vector<Stripe> plan_rdv(Core& core, std::size_t size) override {
+    const unsigned rails = core.rails();
+    if (rails == 1 || size < cfg_.multirail_min) {
+      return {Stripe{0, 0, size}};
+    }
+    // Stripe proportionally to each rail's bandwidth so heterogeneous
+    // rails (e.g. Myrinet + InfiniBand) finish together.
+    std::vector<double> bw(rails);
+    double total_bw = 0;
+    for (unsigned r = 0; r < rails; ++r) {
+      bw[r] = core.fabric().cost(r).bandwidth_bytes_per_ns();
+      total_bw += bw[r];
+    }
+    std::vector<Stripe> plan;
+    plan.reserve(rails);
+    std::size_t offset = 0;
+    for (unsigned r = 0; r < rails && offset < size; ++r) {
+      std::size_t len =
+          r + 1 == rails
+              ? size - offset
+              : std::min(size - offset,
+                         static_cast<std::size_t>(
+                             static_cast<double>(size) * bw[r] / total_bw));
+      if (len == 0) continue;
+      plan.push_back(Stripe{r, offset, len});
+      offset += len;
+    }
+    return plan;
+  }
+
+ private:
+  const Config& cfg_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                        const Config& cfg) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return std::make_unique<FifoStrategy>(cfg);
+    case StrategyKind::kAggregate:
+      return std::make_unique<AggregateStrategy>(cfg);
+    case StrategyKind::kMultirail:
+      return std::make_unique<MultirailStrategy>(cfg);
+  }
+  PM2_UNREACHABLE("unknown strategy kind");
+}
+
+}  // namespace pm2::nm

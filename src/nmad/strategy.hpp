@@ -1,0 +1,44 @@
+// The optimizer/scheduler layer of NewMadeleine (Fig. 3): decides how the
+// queued packs of a gate become wire packets, and how rendezvous data is
+// striped across rails.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nmad/config.hpp"
+#include "nmad/request.hpp"
+
+namespace pm2::nm {
+
+class Core;
+struct Gate;
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Drain `gate`'s submission queue: build wire packets and submit them
+  /// through the Core helpers (inject_eager_batch / inject_rts).  Runs on
+  /// whatever core PIOMan picked — this *is* the offloaded work.
+  virtual void flush(Core& core, Gate& gate) = 0;
+
+  /// How to move `size` bytes of rendezvous payload: a list of
+  /// (rail, offset, length) stripes.
+  struct Stripe {
+    unsigned rail;
+    std::size_t offset;
+    std::size_t length;
+  };
+  [[nodiscard]] virtual std::vector<Stripe> plan_rdv(Core& core,
+                                                     std::size_t size) = 0;
+};
+
+/// Factory keyed by the configuration enum.
+[[nodiscard]] std::unique_ptr<Strategy> make_strategy(StrategyKind kind,
+                                                      const Config& cfg);
+
+}  // namespace pm2::nm

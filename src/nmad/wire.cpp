@@ -1,0 +1,34 @@
+#include "nmad/wire.hpp"
+
+namespace pm2::nm {
+
+void append_header(std::vector<std::byte>& out, const WireHeader& hdr) {
+  const auto* raw = reinterpret_cast<const std::byte*>(&hdr);
+  out.insert(out.end(), raw, raw + sizeof hdr);
+}
+
+void append_payload(std::vector<std::byte>& out,
+                    std::span<const std::byte> payload) {
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+WireHeader read_header(std::span<const std::byte> packet,
+                       std::size_t& offset) {
+  PM2_ASSERT_MSG(offset + sizeof(WireHeader) <= packet.size(),
+                 "truncated packet header");
+  WireHeader hdr;
+  std::memcpy(&hdr, packet.data() + offset, sizeof hdr);
+  offset += sizeof hdr;
+  return hdr;
+}
+
+std::span<const std::byte> read_payload(std::span<const std::byte> packet,
+                                        std::size_t& offset,
+                                        std::size_t size) {
+  PM2_ASSERT_MSG(offset + size <= packet.size(), "truncated packet payload");
+  auto view = packet.subspan(offset, size);
+  offset += size;
+  return view;
+}
+
+}  // namespace pm2::nm

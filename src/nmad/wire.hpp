@@ -1,0 +1,55 @@
+// Wire format: what actually travels in a simulated packet.
+//
+// A packet is a byte blob: one WireHeader, optionally followed by payload
+// (kEager) or by `count` embedded (header, payload) pairs (kAggregate).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pm2::nm {
+
+using Tag = std::uint32_t;
+using Seq = std::uint32_t;
+
+enum class PacketKind : std::uint8_t {
+  kEager = 1,     // small message: header + payload inline
+  kRts = 2,       // rendezvous request-to-send (header only)
+  kCts = 3,       // rendezvous clear-to-send (header only)
+  kAggregate = 4, // container of several kEager sub-messages
+};
+
+struct WireHeader {
+  std::uint8_t kind = 0;     // PacketKind
+  std::uint8_t reserved = 0;
+  std::uint16_t count = 0;   // kAggregate: number of sub-messages
+  Tag tag = 0;
+  Seq seq = 0;
+  std::uint32_t size = 0;    // kEager: payload bytes following this header;
+                             // kRts: total message size
+  std::uint64_t rdv = 0;     // kRts/kCts: sender-side rendezvous id
+  std::uint64_t handle = 0;  // kCts: receiver's registered RDMA handle
+};
+static_assert(sizeof(WireHeader) == 32);
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+
+/// Append a header to a packet under construction.
+void append_header(std::vector<std::byte>& out, const WireHeader& hdr);
+
+/// Append raw payload bytes.
+void append_payload(std::vector<std::byte>& out,
+                    std::span<const std::byte> payload);
+
+/// Read the header at `offset`; advances `offset` past it.
+[[nodiscard]] WireHeader read_header(std::span<const std::byte> packet,
+                                     std::size_t& offset);
+
+/// View `size` payload bytes at `offset`; advances `offset` past them.
+[[nodiscard]] std::span<const std::byte> read_payload(
+    std::span<const std::byte> packet, std::size_t& offset, std::size_t size);
+
+}  // namespace pm2::nm

@@ -1,0 +1,64 @@
+#include "pm2/cluster.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace pm2 {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  cfg_.marcel.nodes = cfg_.nodes;
+  cfg_.marcel.cpus_per_node = cfg_.cpus_per_node;
+  cfg_.nm.mode =
+      cfg_.pioman ? nm::ProgressMode::kPioman : nm::ProgressMode::kAppDriven;
+
+  runtime_ = std::make_unique<marcel::Runtime>(engine_, cfg_.marcel);
+  if (!cfg_.rail_costs.empty()) {
+    cfg_.rails = static_cast<unsigned>(cfg_.rail_costs.size());
+    fabric_ =
+        std::make_unique<net::Fabric>(engine_, cfg_.nodes, cfg_.rail_costs);
+  } else {
+    fabric_ = std::make_unique<net::Fabric>(engine_, cfg_.nodes, cfg_.rails,
+                                            cfg_.cost);
+  }
+  if (cfg_.pioman) {
+    servers_.reserve(cfg_.nodes);
+    for (unsigned i = 0; i < cfg_.nodes; ++i) {
+      servers_.push_back(
+          std::make_unique<piom::Server>(runtime_->node(i), cfg_.piom));
+    }
+  }
+  cores_.reserve(cfg_.nodes);
+  for (unsigned i = 0; i < cfg_.nodes; ++i) {
+    cores_.push_back(std::make_unique<nm::Core>(
+        runtime_->node(i), *fabric_,
+        cfg_.pioman ? servers_[i].get() : nullptr, cfg_.nm));
+  }
+  if (const char* path = std::getenv("PM2_TRACE"); path != nullptr) {
+    env_tracer_ = std::make_unique<sim::Tracer>();
+    trace_path_ = path;
+    runtime_->set_tracer(env_tracer_.get());
+  }
+}
+
+Cluster::~Cluster() {
+  if (env_tracer_ != nullptr) {
+    if (env_tracer_->write_json(trace_path_)) {
+      PM2_INFO("wrote timeline trace to %s (%zu events)",
+               trace_path_.c_str(), env_tracer_->event_count());
+    } else {
+      PM2_WARN("failed to write trace to %s", trace_path_.c_str());
+    }
+  }
+}
+
+marcel::Thread& Cluster::run_on(unsigned i, std::function<void()> fn,
+                                std::string name, int cpu_hint) {
+  PM2_ASSERT(i < cfg_.nodes);
+  return runtime_->node(i).spawn(std::move(fn), marcel::Priority::kNormal,
+                                 std::move(name), cpu_hint);
+}
+
+}  // namespace pm2

@@ -1,0 +1,93 @@
+// The top-level facade: a simulated cluster running the full PM2 stack
+// (Marcel scheduler + PIOMan + NewMadeleine over the simulated fabric).
+// This is the entry point examples and benchmarks use.
+//
+//   pm2::ClusterConfig cfg;             // 2 nodes × 8 cores, PIOMan on
+//   pm2::Cluster cluster(cfg);
+//   cluster.run_on(0, [&] { ... nm API via cluster.comm(0) ... });
+//   cluster.run_on(1, [&] { ... });
+//   cluster.run();                      // run the simulation to quiescence
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/server.hpp"
+#include "marcel/runtime.hpp"
+#include "netsim/fabric.hpp"
+#include "nmad/core.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2 {
+
+struct ClusterConfig {
+  unsigned nodes = 2;
+  unsigned cpus_per_node = 8;
+  unsigned rails = 1;
+
+  /// Master switch: true = the paper's multithreaded engine, false = the
+  /// original app-driven NewMadeleine (the evaluation baseline).
+  bool pioman = true;
+
+  marcel::Config marcel;   // nodes/cpus_per_node are overridden from above
+  net::CostModel cost;
+  nm::Config nm;           // mode is overridden from `pioman`
+  piom::Config piom;
+
+  /// Heterogeneous rails: when non-empty, one cost model per rail
+  /// (overrides `rails` and `cost`).  E.g. {myri10g(), infiniband_ddr()}.
+  std::vector<net::CostModel> rail_costs;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] marcel::Runtime& runtime() noexcept { return *runtime_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] unsigned nodes() const noexcept { return cfg_.nodes; }
+  [[nodiscard]] marcel::Node& node(unsigned i) noexcept {
+    return runtime_->node(i);
+  }
+  /// The NewMadeleine instance of node `i`.
+  [[nodiscard]] nm::Core& comm(unsigned i) noexcept { return *cores_[i]; }
+  /// The PIOMan server of node `i` (nullptr in baseline mode).
+  [[nodiscard]] piom::Server* server(unsigned i) noexcept {
+    return servers_.empty() ? nullptr : servers_[i].get();
+  }
+
+  /// Spawn an application thread on node `i`.
+  marcel::Thread& run_on(unsigned i, std::function<void()> fn,
+                         std::string name = "app", int cpu_hint = -1);
+
+  /// Run the simulation until quiescence.
+  void run() { engine_.run(); }
+  [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
+
+  /// Attach a timeline tracer (see sim/trace.hpp).  Alternatively set the
+  /// PM2_TRACE environment variable to a path: the Cluster then creates a
+  /// tracer and writes the Chrome-trace JSON on destruction.
+  void attach_tracer(sim::Tracer* tracer) { runtime_->set_tracer(tracer); }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine engine_;
+  std::unique_ptr<marcel::Runtime> runtime_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<std::unique_ptr<piom::Server>> servers_;
+  std::vector<std::unique_ptr<nm::Core>> cores_;
+  std::unique_ptr<sim::Tracer> env_tracer_;
+  std::string trace_path_;
+};
+
+}  // namespace pm2

@@ -1,0 +1,90 @@
+#include "pm2/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pm2 {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_report(Cluster& cluster) {
+  std::string out;
+  appendf(out, "-- simulation report -- t=%.2f us, %llu events\n",
+          to_us(cluster.now()),
+          static_cast<unsigned long long>(
+              cluster.engine().events_processed()));
+
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    appendf(out, "node %u:\n", n);
+    marcel::Cpu::Stats cpu_total;
+    for (unsigned c = 0; c < cluster.node(n).cpu_count(); ++c) {
+      cpu_total.merge(cluster.node(n).cpu(c).stats());
+    }
+    appendf(out,
+            "  cpu: thread %.1f us, service %.1f us, %llu tasklets, "
+            "%llu switches, %llu steals\n",
+            to_us(cpu_total.thread_busy_ns), to_us(cpu_total.service_busy_ns),
+            static_cast<unsigned long long>(cpu_total.tasklets_run),
+            static_cast<unsigned long long>(cpu_total.ctx_switches),
+            static_cast<unsigned long long>(cpu_total.steals));
+
+    const auto& nm_stats = cluster.comm(n).stats();
+    appendf(out,
+            "  nm : %llu sends (%llu eager / %llu rdv), %llu recvs, "
+            "%llu wire packets, unexpected %llu+%llu\n",
+            static_cast<unsigned long long>(nm_stats.sends),
+            static_cast<unsigned long long>(nm_stats.eager_sends),
+            static_cast<unsigned long long>(nm_stats.rdv_sends),
+            static_cast<unsigned long long>(nm_stats.recvs),
+            static_cast<unsigned long long>(nm_stats.wire_packets),
+            static_cast<unsigned long long>(nm_stats.unexpected_eager),
+            static_cast<unsigned long long>(nm_stats.unexpected_rts));
+
+    if (piom::Server* server = cluster.server(n)) {
+      const auto& ps = server->stats();
+      appendf(out,
+              "  piom: %llu posted (%llu offloaded, %llu flushed in wait), "
+              "%llu poll rounds, %llu interrupts, method=%s\n",
+              static_cast<unsigned long long>(ps.posted_items),
+              static_cast<unsigned long long>(ps.posted_offloaded),
+              static_cast<unsigned long long>(ps.posted_flushed),
+              static_cast<unsigned long long>(ps.poll_rounds),
+              static_cast<unsigned long long>(ps.interrupts),
+              server->method() == piom::Method::kPolling ? "polling"
+                                                         : "blocking");
+    }
+
+    std::uint64_t tx = 0, rx = 0, rdma = 0;
+    for (unsigned r = 0; r < cluster.fabric().rails(); ++r) {
+      const auto& ns = cluster.fabric().nic(n, r).stats();
+      tx += ns.bytes_tx;
+      rx += ns.bytes_rx;
+      rdma += ns.rdma_bytes;
+    }
+    appendf(out, "  nic : %llu B out, %llu B in, %llu B rdma\n",
+            static_cast<unsigned long long>(tx),
+            static_cast<unsigned long long>(rx),
+            static_cast<unsigned long long>(rdma));
+  }
+  return out;
+}
+
+void print_report(Cluster& cluster) {
+  const std::string report = format_report(cluster);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+}
+
+}  // namespace pm2

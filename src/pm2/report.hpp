@@ -1,0 +1,17 @@
+// Human-readable end-of-run report: where CPU time went, what the NICs
+// carried, and what PIOMan offloaded.  Used by examples and benchmarks.
+#pragma once
+
+#include <string>
+
+#include "pm2/cluster.hpp"
+
+namespace pm2 {
+
+/// Multi-line summary of a finished simulation.
+[[nodiscard]] std::string format_report(Cluster& cluster);
+
+/// Convenience: format and print to stdout.
+void print_report(Cluster& cluster);
+
+}  // namespace pm2

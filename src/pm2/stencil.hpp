@@ -1,0 +1,51 @@
+// The paper's "meta-application" (§4.3, Figs. 7–8): a convolution-like
+// stencil where a grid of threads, spread over the cluster nodes, each
+// compute their frontier, send it asynchronously to their grid neighbours
+// (intra-node via the shared-memory channel, inter-node via the NIC),
+// compute their interior, and wait for the neighbours' frontiers.
+#pragma once
+
+#include "common/simtime.hpp"
+#include "pm2/cluster.hpp"
+
+namespace pm2::apps {
+
+struct StencilConfig {
+  /// Thread grid (Fig. 8 uses 4×4 = 16 threads over 2 nodes).
+  unsigned grid_rows = 4;
+  unsigned grid_cols = 4;
+
+  /// Bytes of one frontier message (below the rendezvous threshold in the
+  /// paper's runs, so the copy-offload path is exercised).
+  std::size_t frontier_bytes = 8 * 1024;
+
+  /// Compute time for the frontier part of the domain (before the sends).
+  SimDuration frontier_compute = 30 * kUs;
+  /// Compute time for the interior (overlapped with communication).
+  SimDuration interior_compute = 200 * kUs;
+
+  /// Relative per-thread/per-iteration compute-time variation (cache
+  /// effects, boundary domains): 0.2 = ±20%.  The gaps this opens — some
+  /// threads waiting while others still compute — are exactly what §4.3
+  /// says PIOMan fills with pending communication requests.  Deterministic
+  /// (seeded), and identical for both progression modes.
+  double compute_jitter = 0.25;
+  std::uint64_t jitter_seed = 42;
+
+  int iterations = 10;
+};
+
+struct StencilResult {
+  double iteration_us = 0;  // mean per-iteration time
+  double total_us = 0;
+  std::uint64_t offloaded_submissions = 0;  // across all nodes
+  std::uint64_t messages = 0;
+};
+
+/// Build the cluster, run the stencil to completion, report timings.
+/// Thread (r, c) is placed on node c*nodes/grid_cols, so vertical
+/// neighbours communicate intra-node and the middle columns cross nodes.
+[[nodiscard]] StencilResult run_stencil(const StencilConfig& scfg,
+                                        ClusterConfig ccfg);
+
+}  // namespace pm2::apps

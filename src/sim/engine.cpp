@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pm2::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  PM2_ASSERT_MSG(t >= now_, "scheduling into the past");
+  PM2_ASSERT(cb != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy cancellation: drop the id from the pending set; the queue entry is
+  // skipped when it reaches the top.
+  return pending_.erase(id) > 0;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    const Event& top = queue_.top();
+    const auto it = pending_.find(top.id);
+    if (it == pending_.end()) {  // cancelled
+      queue_.pop();
+      continue;
+    }
+    pending_.erase(it);
+    PM2_ASSERT(top.time >= now_);
+    now_ = top.time;
+    Callback cb = std::move(const_cast<Event&>(top).cb);
+    queue_.pop();
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+bool Engine::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (queue_.empty() || queue_.top().time > t) {
+      // May still hold only cancelled entries beyond t; that is fine.
+      break;
+    }
+    step();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return !stopped_;
+}
+
+}  // namespace pm2::sim

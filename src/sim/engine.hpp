@@ -1,0 +1,90 @@
+// Discrete-event simulation engine: a virtual clock plus a time-ordered
+// event queue.  Deterministic: ties on the timestamp are broken by schedule
+// order, and no real-time source is consulted anywhere.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/simtime.hpp"
+
+namespace pm2::sim {
+
+/// Identifier usable to cancel a scheduled event.  Never reused.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `d` nanoseconds of virtual time.
+  EventId schedule_after(SimDuration d, Callback cb) {
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Schedule at the current time (runs after already-queued events at the
+  /// same timestamp — FIFO within a timestamp).
+  EventId schedule_now(Callback cb) { return schedule_at(now_, std::move(cb)); }
+
+  /// Cancel a pending event.  Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+
+  /// Run events with time <= `t`; afterwards now() == t unless stopped
+  /// early.  Returns false if stop() interrupted the run.
+  bool run_until(SimTime t);
+
+  /// Stop the run loop after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of events dispatched so far (diagnostics).
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::size_t events_pending() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  /// Pops the next non-cancelled event; false when drained.
+  bool step();
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> pending_;  // ids not yet run nor cancelled
+};
+
+}  // namespace pm2::sim

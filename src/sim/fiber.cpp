@@ -1,0 +1,163 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pm2::sim {
+namespace {
+
+thread_local Fiber* t_current = nullptr;
+
+std::size_t page_size() noexcept {
+  static const auto ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+#if defined(__x86_64__)
+
+// void pm2_ctx_switch(void** save_sp /*rdi*/, void* load_sp /*rsi*/)
+//
+// Saves the SysV callee-saved register set plus the SSE/x87 control words on
+// the current stack, publishes the stack pointer through *save_sp, then
+// installs load_sp and restores the same layout.  The `ret` at the end
+// resumes wherever the target context previously saved itself — or, for a
+// fresh fiber, enters pm2_fiber_boot.
+asm(R"(
+.text
+.align 16
+.globl pm2_ctx_switch
+.type pm2_ctx_switch, @function
+pm2_ctx_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq  $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw  4(%rsp)
+  movq  %rsp, (%rdi)
+  movq  %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw   4(%rsp)
+  addq  $8, %rsp
+  popq  %r15
+  popq  %r14
+  popq  %r13
+  popq  %r12
+  popq  %rbx
+  popq  %rbp
+  ret
+.size pm2_ctx_switch, .-pm2_ctx_switch
+
+.align 16
+.globl pm2_fiber_boot
+.type pm2_fiber_boot, @function
+pm2_fiber_boot:
+  movq %r12, %rdi
+  jmp  pm2_fiber_entry_trampoline
+.size pm2_fiber_boot, .-pm2_fiber_boot
+)");
+
+extern "C" {
+void pm2_ctx_switch(void** save_sp, void* load_sp);
+void pm2_fiber_boot();
+}
+
+#endif  // __x86_64__
+
+void fiber_entry_trampoline(Fiber* self);
+
+extern "C" void pm2_fiber_entry_trampoline(Fiber* self) {
+  fiber_entry_trampoline(self);
+}
+
+void fiber_entry_trampoline(Fiber* self) {
+  self->body_();
+  self->finished_ = true;
+  // Return control to the resumer forever; resuming a finished fiber is a
+  // caller bug caught in resume().
+  for (;;) Fiber::suspend();
+}
+
+Fiber::Fiber(Body body, std::size_t stack_bytes) : body_(std::move(body)) {
+  PM2_ASSERT(body_ != nullptr);
+  const std::size_t ps = page_size();
+  stack_size_ = round_up(stack_bytes, ps);
+  alloc_size_ = stack_size_ + ps;  // one guard page at the low end
+  void* mem = ::mmap(nullptr, alloc_size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  PM2_ASSERT_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  stack_base_ = mem;
+  PM2_ASSERT(::mprotect(mem, ps, PROT_NONE) == 0);
+
+#if defined(__x86_64__)
+  // Build the initial frame that pm2_ctx_switch will unwind on first resume.
+  // Layout from sp_ upward:
+  //   [ 0] mxcsr (4B) + x87 cw (4B)
+  //   [ 8] r15  [16] r14  [24] r13  [32] r12 = this
+  //   [40] rbx  [48] rbp
+  //   [56] return address = pm2_fiber_boot
+  //   [64] 0 (backtrace terminator)
+  auto* top = static_cast<char*>(mem) + alloc_size_;
+  top = reinterpret_cast<char*>(reinterpret_cast<std::uintptr_t>(top) & ~15ull);
+  char* sp = top - 72;  // (sp+64) % 16 == 8 ⇒ ABI-correct at boot entry
+  std::memset(sp, 0, 72);
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  std::memcpy(sp + 0, &mxcsr, 4);
+  std::memcpy(sp + 4, &fcw, 2);
+  auto self = reinterpret_cast<std::uintptr_t>(this);
+  std::memcpy(sp + 32, &self, 8);
+  auto boot = reinterpret_cast<std::uintptr_t>(&pm2_fiber_boot);
+  std::memcpy(sp + 56, &boot, 8);
+  sp_ = sp;
+#else
+#error "Non-x86-64 platforms require a ucontext fallback (not built here)."
+#endif
+}
+
+Fiber::~Fiber() {
+  PM2_ASSERT_MSG(!running_, "destroying a running fiber");
+  if (stack_base_ != nullptr) ::munmap(stack_base_, alloc_size_);
+}
+
+void Fiber::resume() {
+  PM2_ASSERT_MSG(!finished_, "resuming a finished fiber");
+  PM2_ASSERT_MSG(!running_, "fiber is already running (recursive resume)");
+  parent_ = t_current;
+  t_current = this;
+  running_ = true;
+  started_ = true;
+  pm2_ctx_switch(&resumer_sp_, sp_);
+  // Back from the fiber: it suspended or finished.
+  t_current = parent_;
+}
+
+void Fiber::suspend() {
+  Fiber* self = t_current;
+  PM2_ASSERT_MSG(self != nullptr, "suspend() outside a fiber");
+  self->running_ = false;
+  pm2_ctx_switch(&self->sp_, self->resumer_sp_);
+  // Resumed again.
+  self->running_ = true;
+}
+
+Fiber* Fiber::current() noexcept { return t_current; }
+
+}  // namespace pm2::sim

@@ -1,0 +1,64 @@
+// Stackful coroutines ("fibers") for the discrete-event simulator.
+//
+// Every simulated activity that consumes CPU time — application threads,
+// per-core service loops (tasklets + idle polling), blocking LWPs — runs on
+// a fiber.  Fibers are resumed from the engine context and suspend back to
+// whoever resumed them.  On x86-64 the switch is a hand-rolled callee-saved
+// register swap (~20 instructions, no syscalls); other platforms fall back
+// to POSIX ucontext.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pm2::sim {
+
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  /// The body starts executing at the first resume().
+  explicit Fiber(Body body, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfer control into the fiber until it suspends or finishes.
+  /// May be called from the engine context or from another fiber
+  /// (nested resume); control returns here on suspend.
+  void resume();
+
+  /// Called from inside a fiber: return control to the resumer.
+  static void suspend();
+
+  /// The fiber currently executing on this host thread, or nullptr when in
+  /// engine context.
+  [[nodiscard]] static Fiber* current() noexcept;
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Approximate high-water mark of stack usage, for diagnostics.
+  [[nodiscard]] std::size_t stack_bytes() const noexcept { return stack_size_; }
+
+ private:
+  static void entry_point(Fiber* self);
+  friend void fiber_entry_trampoline(Fiber*);
+
+  Body body_;
+  void* stack_base_ = nullptr;   // mmap'd region (includes guard page)
+  std::size_t alloc_size_ = 0;   // total mapping size
+  std::size_t stack_size_ = 0;   // usable stack bytes
+  void* sp_ = nullptr;           // saved stack pointer while suspended
+  void* resumer_sp_ = nullptr;   // where to return on suspend
+  Fiber* parent_ = nullptr;      // fiber that resumed us (nesting)
+  bool started_ = false;
+  bool finished_ = false;
+  bool running_ = false;
+};
+
+}  // namespace pm2::sim

@@ -1,0 +1,73 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pm2::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Expand the seed through SplitMix64 as xoshiro's authors recommend.
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  PM2_ASSERT(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  PM2_ASSERT(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace pm2::sim

@@ -1,0 +1,33 @@
+// Seeded deterministic RNG (xoshiro256**) for workload generators and
+// modelled jitter.  std::mt19937 is avoided on hot paths for speed and to
+// keep the state size small.
+#pragma once
+
+#include <cstdint>
+
+namespace pm2::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Exponentially distributed with the given mean (Poisson inter-arrival).
+  double exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pm2::sim

@@ -1,0 +1,115 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace pm2::sim {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Tracer::track_id(std::string_view track) {
+  const auto it = tracks_.find(track);
+  if (it != tracks_.end()) return it->second;
+  const int id = static_cast<int>(tracks_.size()) + 1;
+  tracks_.emplace(std::string(track), id);
+  return id;
+}
+
+void Tracer::span(std::string_view track, std::string_view name,
+                  SimTime start, SimTime end, std::string_view category) {
+  events_.push_back(Event{Event::Kind::kSpan, track_id(track),
+                          std::string(name), std::string(category), start,
+                          end, 0});
+}
+
+void Tracer::instant(std::string_view track, std::string_view name,
+                     SimTime at) {
+  events_.push_back(Event{Event::Kind::kInstant, track_id(track),
+                          std::string(name), {}, at, at, 0});
+}
+
+void Tracer::counter(std::string_view track, std::string_view name,
+                     SimTime at, double value) {
+  events_.push_back(Event{Event::Kind::kCounter, track_id(track),
+                          std::string(name), {}, at, at, value});
+}
+
+std::string Tracer::to_json() const {
+  std::string out = "[\n";
+  char buf[512];
+  // Track-name metadata so the viewer shows readable lane labels.
+  for (const auto& [name, tid] : tracks_) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}},\n",
+                  tid, escape(name).c_str());
+    out += buf;
+  }
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    const double ts = static_cast<double>(e.start) / 1000.0;  // µs
+    switch (e.kind) {
+      case Event::Kind::kSpan: {
+        const double dur = static_cast<double>(e.end - e.start) / 1000.0;
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                      escape(e.name).c_str(),
+                      e.category.empty() ? "sim" : escape(e.category).c_str(),
+                      ts, dur, e.tid);
+        break;
+      }
+      case Event::Kind::kInstant:
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                      "\"pid\":1,\"tid\":%d,\"s\":\"t\"}",
+                      escape(e.name).c_str(), ts, e.tid);
+        break;
+      case Event::Kind::kCounter:
+        std::snprintf(buf, sizeof buf,
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+                      "\"pid\":1,\"tid\":%d,\"args\":{\"value\":%g}}",
+                      escape(e.name).c_str(), ts, e.tid, e.value);
+        break;
+    }
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool Tracer::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace pm2::sim

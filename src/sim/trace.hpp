@@ -1,0 +1,63 @@
+// Chrome-trace (chrome://tracing, Perfetto) timeline emitter for the
+// simulation: per-core activity spans, packet events, counters.  Lets a
+// user *see* the offload happening — the injection span migrating from the
+// application thread's core to an idle core when PIOMan is enabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.hpp"
+
+namespace pm2::sim {
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A complete span [start, end) on the named track (e.g. "node0/cpu3").
+  void span(std::string_view track, std::string_view name, SimTime start,
+            SimTime end, std::string_view category = "");
+
+  /// A zero-duration marker.
+  void instant(std::string_view track, std::string_view name, SimTime at);
+
+  /// A sampled counter value (e.g. idle-core count, queue depth).
+  void counter(std::string_view track, std::string_view name, SimTime at,
+               double value);
+
+  /// Serialize all events as a Chrome trace JSON array.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to a file; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return events_.size();
+  }
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+    Kind kind;
+    int tid;
+    std::string name;
+    std::string category;
+    SimTime start = 0;
+    SimTime end = 0;
+    double value = 0;
+  };
+
+  int track_id(std::string_view track);
+
+  std::vector<Event> events_;
+  std::map<std::string, int, std::less<>> tracks_;
+};
+
+}  // namespace pm2::sim

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "common/backoff.hpp"
+#include "common/cacheline.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(Backoff, EscalatesToYielding) {
+  Backoff b;
+  EXPECT_FALSE(b.is_yielding());
+  for (int i = 0; i < 10; ++i) b.pause();
+  EXPECT_TRUE(b.is_yielding());
+  b.reset();
+  EXPECT_FALSE(b.is_yielding());
+}
+
+TEST(CacheAligned, AlignsToCacheLine) {
+  CacheAligned<int> a;
+  CacheAligned<int> b;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a) % kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(CacheAligned<char>), kCacheLineSize);
+  *a = 42;
+  EXPECT_EQ(a.value, 42);
+  b.value = 7;
+  EXPECT_EQ(*b, 7);
+}
+
+TEST(CacheAligned, ArrayElementsDoNotShare) {
+  CacheAligned<int> arr[2];
+  const auto a0 = reinterpret_cast<std::uintptr_t>(&arr[0]);
+  const auto a1 = reinterpret_cast<std::uintptr_t>(&arr[1]);
+  EXPECT_GE(a1 - a0, kCacheLineSize);
+}
+
+}  // namespace
+}  // namespace pm2

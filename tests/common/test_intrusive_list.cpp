@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/intrusive_list.hpp"
+
+namespace pm2 {
+namespace {
+
+struct Node {
+  explicit Node(int v) : value(v) {}
+  int value;
+  ListHook hook;
+  ListHook other_hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+using OtherList = IntrusiveList<Node, &Node::other_hook>;
+
+TEST(IntrusiveList, EmptyBehaviour) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.pop_front(), nullptr);
+  EXPECT_EQ(list.pop_back(), nullptr);
+}
+
+TEST(IntrusiveList, PushPopFifo) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_EQ(list.pop_front()->value, 2);
+  EXPECT_EQ(list.pop_front()->value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFrontPopBack) {
+  List list;
+  Node a(1), b(2);
+  list.push_front(a);
+  list.push_front(b);  // order: b, a
+  EXPECT_EQ(list.front().value, 2);
+  EXPECT_EQ(list.back().value, 1);
+  EXPECT_EQ(list.pop_back()->value, 1);
+  EXPECT_EQ(list.pop_back()->value, 2);
+}
+
+TEST(IntrusiveList, EraseMiddle) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_FALSE(b.hook.is_linked());
+  EXPECT_EQ(list.pop_front()->value, 1);
+  EXPECT_EQ(list.pop_front()->value, 3);
+}
+
+TEST(IntrusiveList, Iteration) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  std::vector<int> seen;
+  for (Node& n : list) seen.push_back(n.value);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IntrusiveList, MembershipInTwoLists) {
+  List list;
+  OtherList other;
+  Node a(1);
+  list.push_back(a);
+  other.push_back(a);
+  EXPECT_TRUE(list.contains(a));
+  EXPECT_TRUE(other.contains(a));
+  list.erase(a);
+  EXPECT_FALSE(a.hook.is_linked());
+  EXPECT_TRUE(a.other_hook.is_linked());
+}
+
+TEST(IntrusiveList, DoubleInsertAsserts) {
+  List list;
+  Node a(1);
+  list.push_back(a);
+  EXPECT_DEATH(list.push_back(a), "already on a list");
+}
+
+TEST(IntrusiveList, Clear) {
+  List list;
+  Node a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(a.hook.is_linked());
+  EXPECT_FALSE(b.hook.is_linked());
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,87 @@
+// Bounded MPMC ring: capacity behaviour, FIFO single-threaded, and
+// conservation under real multi-thread producers/consumers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_ring.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(MpmcRing, SingleThreadFifo) {
+  MpmcRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "ring should be full";
+  for (int i = 0; i < 8; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, WrapsAround) {
+  MpmcRing<int> ring(4);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(round * 10 + i));
+    for (int i = 0; i < 3; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, round * 10 + i);
+    }
+  }
+}
+
+TEST(MpmcRing, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(MpmcRing<int>(3), "power of two");
+}
+
+TEST(MpmcRing, MultiThreadConservation) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 50'000;
+  MpmcRing<int> ring(1024);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto v = ring.try_pop();
+        if (v.has_value()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load(std::memory_order_acquire)) {
+          if (!ring.try_pop().has_value()) break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  const long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);  // sample variance of {1,2,3}
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = i * 0.37;
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, AddAfterPercentileResorts) {
+  Samples s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(Log2Histogram, BucketsAndRender) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1000);
+  EXPECT_EQ(h.total(), 5u);
+  const std::string text = h.render();
+  EXPECT_NE(text.find(": 2"), std::string::npos);  // values 2 and 3 share a bucket
+}
+
+}  // namespace
+}  // namespace pm2

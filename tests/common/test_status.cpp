@@ -1,0 +1,22 @@
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(Status, ToString) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kAgain), "again");
+  EXPECT_EQ(to_string(Status::kTimedOut), "timed-out");
+  EXPECT_EQ(to_string(Status::kInternal), "internal");
+}
+
+TEST(Status, OkHelper) {
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kAgain));
+  EXPECT_FALSE(ok(Status::kClosed));
+}
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,192 @@
+// Full-stack integration: the Cluster facade, the stencil meta-application,
+// determinism, multi-node topologies, and cross-layer statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm2/cluster.hpp"
+#include "pm2/stencil.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(Cluster, DefaultConfigBringsUpFullStack) {
+  Cluster cluster;  // 2 nodes × 8 cores, PIOMan on
+  EXPECT_EQ(cluster.nodes(), 2u);
+  EXPECT_NE(cluster.server(0), nullptr);
+  EXPECT_NE(cluster.server(1), nullptr);
+  EXPECT_EQ(cluster.comm(0).node_id(), 0u);
+  EXPECT_EQ(cluster.comm(1).node_id(), 1u);
+  EXPECT_EQ(cluster.fabric().nodes(), 2u);
+}
+
+TEST(Cluster, BaselineHasNoServer) {
+  ClusterConfig cfg;
+  cfg.pioman = false;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.server(0), nullptr);
+  EXPECT_EQ(cluster.comm(0).server(), nullptr);
+}
+
+TEST(Cluster, RunToQuiescenceIsIdempotent) {
+  Cluster cluster;
+  bool ran = false;
+  cluster.run_on(0, [&] { ran = true; });
+  cluster.run();
+  EXPECT_TRUE(ran);
+  const SimTime t = cluster.now();
+  cluster.run();  // nothing left: time must not advance
+  EXPECT_EQ(cluster.now(), t);
+}
+
+TEST(Cluster, DeterministicAcrossRuns) {
+  auto once = [] {
+    ClusterConfig cfg;
+    cfg.cpus_per_node = 4;
+    Cluster cluster(cfg);
+    std::vector<std::byte> data(10'000, std::byte{1});
+    std::vector<std::byte> rx(10'000);
+    cluster.run_on(0, [&] {
+      for (int i = 0; i < 5; ++i) {
+        nm::Request* s = cluster.comm(0).isend(1, 1, data);
+        marcel::this_thread::compute(17 * kUs);
+        cluster.comm(0).wait(s);
+      }
+    });
+    cluster.run_on(1, [&] {
+      for (int i = 0; i < 5; ++i) {
+        nm::Request* r = cluster.comm(1).irecv(0, 1, rx);
+        marcel::this_thread::compute(23 * kUs);
+        cluster.comm(1).wait(r);
+      }
+    });
+    cluster.run();
+    return std::pair(cluster.now(), cluster.engine().events_processed());
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.first, b.first) << "virtual end time must be reproducible";
+  EXPECT_EQ(a.second, b.second) << "event count must be reproducible";
+}
+
+TEST(Cluster, FourNodeAllToAll) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.cpus_per_node = 2;
+  Cluster cluster(cfg);
+  // Every node sends a distinct message to every other node.
+  std::vector<std::vector<std::vector<std::byte>>> rx(
+      4, std::vector<std::vector<std::byte>>(4, std::vector<std::byte>(64)));
+  std::vector<std::vector<std::vector<std::byte>>> tx(
+      4, std::vector<std::vector<std::byte>>(4, std::vector<std::byte>(64)));
+  for (unsigned s = 0; s < 4; ++s) {
+    for (unsigned d = 0; d < 4; ++d) {
+      std::fill(tx[s][d].begin(), tx[s][d].end(), std::byte(16 * s + d));
+    }
+  }
+  for (unsigned n = 0; n < 4; ++n) {
+    cluster.run_on(n, [&, n] {
+      std::vector<nm::Request*> reqs;
+      for (unsigned d = 0; d < 4; ++d) {
+        if (d == n) continue;
+        reqs.push_back(cluster.comm(n).isend(d, 100 + n, tx[n][d]));
+        reqs.push_back(cluster.comm(n).irecv(d, 100 + d, rx[n][d]));
+      }
+      for (nm::Request* r : reqs) cluster.comm(n).wait(r);
+    });
+  }
+  cluster.run();
+  for (unsigned n = 0; n < 4; ++n) {
+    for (unsigned d = 0; d < 4; ++d) {
+      if (d == n) continue;
+      EXPECT_EQ(rx[n][d], tx[d][n]) << "node " << n << " from " << d;
+    }
+  }
+}
+
+TEST(Cluster, StatsPlumbThrough) {
+  Cluster cluster;
+  std::vector<std::byte> data(4096, std::byte{1});
+  std::vector<std::byte> rx(4096);
+  cluster.run_on(0, [&] {
+    nm::Request* s = cluster.comm(0).isend(1, 1, data);
+    marcel::this_thread::compute(30 * kUs);
+    cluster.comm(0).wait(s);
+  });
+  cluster.run_on(1, [&] {
+    nm::Request* r = cluster.comm(1).irecv(0, 1, rx);
+    cluster.comm(1).wait(r);
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.comm(0).stats().sends, 1u);
+  EXPECT_EQ(cluster.comm(1).stats().recvs, 1u);
+  EXPECT_GE(cluster.server(0)->stats().posted_items, 1u);
+  EXPECT_GT(cluster.fabric().nic(0).stats().bytes_tx, 4096u);
+  const auto totals = cluster.runtime().total_stats();
+  EXPECT_GT(totals.thread_busy_ns, 0u);
+  EXPECT_GT(totals.ctx_switches, 0u);
+}
+
+// ------------------------------------------------------------- stencil
+
+TEST(Stencil, SmallGridCompletes) {
+  apps::StencilConfig scfg;
+  scfg.grid_rows = 2;
+  scfg.grid_cols = 2;
+  scfg.iterations = 3;
+  scfg.frontier_bytes = 1024;
+  scfg.interior_compute = 20 * kUs;
+  scfg.frontier_compute = 5 * kUs;
+  ClusterConfig ccfg;
+  ccfg.cpus_per_node = 4;
+  const auto result = apps::run_stencil(scfg, ccfg);
+  EXPECT_GT(result.iteration_us, 0.0);
+  EXPECT_EQ(result.messages, 3u * (2u * 4u));  // 4 directed edges, 3 iters
+}
+
+TEST(Stencil, OffloadNeverLosesBadly) {
+  // Property over several shapes: PIOMan within 5% of (usually better
+  // than) the baseline.
+  for (const unsigned dim : {2u, 3u}) {
+    apps::StencilConfig scfg;
+    scfg.grid_rows = dim;
+    scfg.grid_cols = dim;
+    scfg.iterations = 5;
+    scfg.frontier_bytes = 8 * 1024;
+    ClusterConfig ccfg;
+    ccfg.cpus_per_node = 8;
+    ccfg.pioman = false;
+    const double base = apps::run_stencil(scfg, ccfg).iteration_us;
+    ccfg.pioman = true;
+    const double piom = apps::run_stencil(scfg, ccfg).iteration_us;
+    EXPECT_LE(piom, base * 1.05) << dim << "x" << dim;
+  }
+}
+
+TEST(Stencil, JitterIsDeterministic) {
+  apps::StencilConfig scfg;
+  scfg.grid_rows = 2;
+  scfg.grid_cols = 2;
+  scfg.iterations = 4;
+  ClusterConfig ccfg;
+  ccfg.cpus_per_node = 4;
+  const auto a = apps::run_stencil(scfg, ccfg);
+  const auto b = apps::run_stencil(scfg, ccfg);
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+}
+
+TEST(Stencil, MoreIdleCoresMoreOffload) {
+  apps::StencilConfig scfg;
+  scfg.grid_rows = 2;
+  scfg.grid_cols = 2;
+  scfg.iterations = 5;
+  ClusterConfig ccfg;
+  ccfg.cpus_per_node = 8;  // 2 threads/node on 8 cores: 6 idle
+  const auto spacious = apps::run_stencil(scfg, ccfg);
+  ccfg.cpus_per_node = 2;  // no statically idle cores
+  const auto tight = apps::run_stencil(scfg, ccfg);
+  EXPECT_GT(spacious.offloaded_submissions, tight.offloaded_submissions);
+}
+
+}  // namespace
+}  // namespace pm2

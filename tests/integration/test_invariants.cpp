@@ -1,0 +1,125 @@
+// Cross-layer conservation and accounting invariants, checked over
+// parameterized workloads:
+//  * bytes out == bytes in (per fabric),
+//  * PIOMan posted == offloaded + flushed,
+//  * every send matches exactly one recv,
+//  * CPU time accounting is consistent with wall time × cores.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "pm2/cluster.hpp"
+#include "pm2/report.hpp"
+#include "sim/rng.hpp"
+
+namespace pm2 {
+namespace {
+
+using Param = std::tuple<bool /*pioman*/, std::size_t /*msg size*/,
+                         int /*messages*/>;
+
+class Invariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Invariants, ConservationLaws) {
+  const auto [pioman, size, count] = GetParam();
+  ClusterConfig cfg;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+
+  std::vector<std::vector<std::byte>> tx(count,
+                                         std::vector<std::byte>(size));
+  std::vector<std::vector<std::byte>> rx(count,
+                                         std::vector<std::byte>(size));
+  for (int i = 0; i < count; ++i) {
+    std::fill(tx[i].begin(), tx[i].end(), std::byte(i + 1));
+  }
+  cluster.run_on(0, [&] {
+    for (int i = 0; i < count; ++i) {
+      nm::Request* s = cluster.comm(0).isend(1, 1, tx[i]);
+      marcel::this_thread::compute(7 * kUs);
+      cluster.comm(0).wait(s);
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < count; ++i) {
+      nm::Request* r = cluster.comm(1).irecv(0, 1, rx[i]);
+      marcel::this_thread::compute(11 * kUs);
+      cluster.comm(1).wait(r);
+    }
+  });
+  cluster.run();
+
+  // 1. Payload integrity.
+  for (int i = 0; i < count; ++i) EXPECT_EQ(rx[i], tx[i]);
+
+  // 2. Fabric conservation: everything sent was delivered.
+  std::uint64_t bytes_tx = 0, bytes_rx = 0, pk_tx = 0, pk_rx = 0;
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    const auto& s = cluster.fabric().nic(n).stats();
+    bytes_tx += s.bytes_tx;
+    bytes_rx += s.bytes_rx;
+    pk_tx += s.packets_tx;
+    pk_rx += s.packets_rx;
+  }
+  EXPECT_EQ(bytes_tx, bytes_rx);
+  // RDMA completions count as rx "packets" on delivery.
+  EXPECT_LE(pk_tx, pk_rx);
+
+  // 3. Matching: every send matched exactly one recv, none outstanding.
+  const auto& s0 = cluster.comm(0).stats();
+  const auto& s1 = cluster.comm(1).stats();
+  EXPECT_EQ(s0.sends, static_cast<std::uint64_t>(count));
+  EXPECT_EQ(s1.recvs, static_cast<std::uint64_t>(count));
+  EXPECT_EQ(s1.expected_eager + s1.unexpected_eager + s0.rdv_sends,
+            static_cast<std::uint64_t>(count));
+
+  // 4. PIOMan ledger: every posted item ran exactly once, somewhere.
+  if (pioman) {
+    for (unsigned n = 0; n < cluster.nodes(); ++n) {
+      const auto& ps = cluster.server(n)->stats();
+      EXPECT_EQ(ps.posted_items, ps.posted_offloaded + ps.posted_flushed)
+          << "node " << n;
+      EXPECT_EQ(cluster.server(n)->posted_pending(), 0u);
+      EXPECT_EQ(cluster.server(n)->armed(), 0u)
+          << "all requests completed: nothing may stay armed";
+      EXPECT_EQ(cluster.server(n)->armed_critical(), 0u);
+    }
+  }
+
+  // 5. CPU accounting: busy time per node never exceeds wall × cores.
+  const double wall = static_cast<double>(cluster.now());
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    marcel::Cpu::Stats total;
+    for (unsigned c = 0; c < cluster.node(n).cpu_count(); ++c) {
+      total.merge(cluster.node(n).cpu(c).stats());
+    }
+    const double busy = static_cast<double>(total.thread_busy_ns) +
+                        static_cast<double>(total.service_busy_ns);
+    EXPECT_LE(busy, wall * cluster.node(n).cpu_count() * 1.0001);
+  }
+
+  // 6. The report renders without blowing up and mentions every node.
+  const std::string report = format_report(cluster);
+  EXPECT_NE(report.find("node 0:"), std::string::npos);
+  EXPECT_NE(report.find("node 1:"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, Invariants,
+    ::testing::Values(Param{true, 512, 20}, Param{false, 512, 20},
+                      Param{true, 16 * 1024, 10},
+                      Param{false, 16 * 1024, 10},
+                      Param{true, 100 * 1024, 5},
+                      Param{false, 100 * 1024, 5},
+                      Param{true, 1, 50}, Param{true, 32 * 1024, 8},
+                      Param{true, 33 * 1024, 8}),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return std::string(std::get<0>(pinfo.param) ? "Pioman" : "AppDriven") +
+             "_" + std::to_string(std::get<1>(pinfo.param)) + "B_x" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace pm2

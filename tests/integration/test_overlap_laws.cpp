@@ -1,0 +1,88 @@
+// Parameterized "overlap laws": across a grid of (message size, compute
+// time), the baseline obeys time ≈ comm + comp and PIOMan obeys
+// time ≈ max(comm, comp) + ε.  This is the paper's core claim checked as
+// a property rather than at single points.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "pm2/cluster.hpp"
+
+namespace pm2 {
+namespace {
+
+/// Sender-side time of [isend; compute; swait] in a lockstep ping-pong.
+SimDuration fig4_send_time(bool pioman, std::size_t size, SimDuration comp) {
+  ClusterConfig cfg;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  std::vector<std::byte> d0(size, std::byte{1}), d1(size, std::byte{2});
+  std::vector<std::byte> r0(size), r1(size);
+  Samples samples;
+  cluster.run_on(0, [&] {
+    for (int i = 0; i < 8; ++i) {
+      const SimTime t0 = cluster.now();
+      nm::Request* s = cluster.comm(0).isend(1, 1, d0);
+      marcel::this_thread::compute(comp);
+      cluster.comm(0).wait(s);
+      if (i >= 2) samples.add(static_cast<double>(cluster.now() - t0));
+      nm::Request* r = cluster.comm(0).irecv(1, 2, r0);
+      marcel::this_thread::compute(comp);
+      cluster.comm(0).wait(r);
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < 8; ++i) {
+      nm::Request* r = cluster.comm(1).irecv(0, 1, r1);
+      marcel::this_thread::compute(comp);
+      cluster.comm(1).wait(r);
+      nm::Request* s = cluster.comm(1).isend(0, 2, d1);
+      marcel::this_thread::compute(comp);
+      cluster.comm(1).wait(s);
+    }
+  });
+  cluster.run();
+  return static_cast<SimDuration>(samples.mean());
+}
+
+using Param = std::tuple<std::size_t, SimDuration>;
+
+class OverlapLaws : public ::testing::TestWithParam<Param> {};
+
+TEST_P(OverlapLaws, SumAndMaxLaws) {
+  const auto [size, comp] = GetParam();
+  const SimDuration ref = fig4_send_time(true, size, 0);
+  const SimDuration base = fig4_send_time(false, size, comp);
+  const SimDuration piom = fig4_send_time(true, size, comp);
+
+  // Baseline law: serialization. Allow small slack for per-op bookkeeping
+  // differences between the reference and loaded runs.
+  EXPECT_GE(base + 3 * kUs, ref + comp)
+      << "baseline must pay comm+comp (size=" << size
+      << " comp=" << to_us(comp) << "us)";
+
+  // PIOMan law: overlap up to the documented ~2us machinery overhead.
+  const SimDuration ideal = std::max(ref, comp);
+  EXPECT_LE(piom, ideal + 5 * kUs)
+      << "PIOMan must overlap (size=" << size << " comp=" << to_us(comp)
+      << "us)";
+  // And it never does better than physics allows.
+  EXPECT_GE(piom + kUs, ideal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OverlapLaws,
+    ::testing::Combine(
+        ::testing::Values(std::size_t{1024}, std::size_t{8 * 1024},
+                          std::size_t{32 * 1024}, std::size_t{128 * 1024},
+                          std::size_t{512 * 1024}),
+        ::testing::Values(SimDuration{0}, 20 * kUs, 100 * kUs, 400 * kUs)),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return "s" + std::to_string(std::get<0>(pinfo.param)) + "_c" +
+             std::to_string(std::get<1>(pinfo.param) / kUs) + "us";
+    });
+
+}  // namespace
+}  // namespace pm2

@@ -1,0 +1,202 @@
+// Scheduler behaviours: work stealing, priorities, preemption, idle hooks,
+// realtime wakeups, per-CPU placement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "marcel/sync.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+struct Machine {
+  sim::Engine eng;
+  Runtime rt;
+  explicit Machine(Config cfg) : rt(eng, cfg) {}
+  Node& node(unsigned i = 0) { return rt.node(i); }
+};
+
+Config config(unsigned cpus, bool stealing = true) {
+  Config cfg;
+  cfg.nodes = 1;
+  cfg.cpus_per_node = cpus;
+  cfg.work_stealing = stealing;
+  return cfg;
+}
+
+TEST(Scheduler, WorkStealingBalancesLoad) {
+  Machine m(config(2));
+  // Both threads pinned to cpu 0; with stealing the idle cpu 1 takes one.
+  SimTime done_a = 0, done_b = 0;
+  m.node().spawn([&] { this_thread::compute(100 * kUs); done_a = m.eng.now(); },
+                 Priority::kNormal, "a", /*cpu_hint=*/0);
+  m.node().spawn([&] { this_thread::compute(100 * kUs); done_b = m.eng.now(); },
+                 Priority::kNormal, "b", /*cpu_hint=*/0);
+  m.eng.run();
+  EXPECT_LT(std::max(done_a, done_b), 150 * kUs)
+      << "stealing should parallelize the two computes";
+  const auto stats = m.rt.total_stats();
+  EXPECT_GE(stats.steals, 1u);
+}
+
+TEST(Scheduler, NoStealingSerializes) {
+  Machine m(config(2, /*stealing=*/false));
+  SimTime done_a = 0, done_b = 0;
+  m.node().spawn([&] { this_thread::compute(100 * kUs); done_a = m.eng.now(); },
+                 Priority::kNormal, "a", /*cpu_hint=*/0);
+  m.node().spawn([&] { this_thread::compute(100 * kUs); done_b = m.eng.now(); },
+                 Priority::kNormal, "b", /*cpu_hint=*/0);
+  m.eng.run();
+  EXPECT_GE(std::max(done_a, done_b), 200 * kUs);
+}
+
+TEST(Scheduler, HigherPriorityRunsFirst) {
+  Machine m(config(1));
+  std::vector<char> order;
+  // Spawn a blocker so both test threads queue up behind it and priority
+  // decides their order.
+  m.node().spawn([&] { this_thread::compute(10 * kUs); }, Priority::kNormal,
+                 "blocker", 0);
+  m.node().spawn([&] { order.push_back('n'); }, Priority::kNormal, "normal",
+                 0);
+  m.node().spawn([&] { order.push_back('h'); }, Priority::kHigh, "high", 0);
+  m.eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'h');
+  EXPECT_EQ(order[1], 'n');
+}
+
+TEST(Scheduler, RealtimeWakePreemptsCompute) {
+  Config cfg = config(1);
+  cfg.quantum = 1000 * kUs;  // long quantum: only hard preemption can cut in
+  Machine m(cfg);
+  SimTime rt_ran_at = kSimTimeNever;
+  // A realtime thread that blocks, then is woken mid-compute of the other.
+  Thread& rt_thread = m.node().spawn(
+      [&] {
+        this_thread::sleep(50 * kUs);  // wakes at ~50us into the compute
+        rt_ran_at = m.eng.now();
+      },
+      Priority::kRealtime, "rt", 0);
+  (void)rt_thread;
+  m.node().spawn([&] { this_thread::compute(500 * kUs); }, Priority::kNormal,
+                 "worker", 0);
+  m.eng.run();
+  EXPECT_LT(rt_ran_at, 100 * kUs)
+      << "realtime wake must interrupt the 500us compute well before it ends";
+}
+
+TEST(Scheduler, QuantumPreemptionSharesCpu) {
+  Config cfg = config(1);
+  cfg.quantum = 50 * kUs;
+  cfg.timer_tick = 50 * kUs;
+  Machine m(cfg);
+  SimTime done_a = 0, done_b = 0;
+  m.node().spawn([&] { this_thread::compute(200 * kUs); done_a = m.eng.now(); },
+                 Priority::kNormal, "a", 0);
+  m.node().spawn([&] { this_thread::compute(200 * kUs); done_b = m.eng.now(); },
+                 Priority::kNormal, "b", 0);
+  m.eng.run();
+  // With preemption both finish close together (~400us), rather than one
+  // at 200us and the other at 400us.
+  EXPECT_GT(std::min(done_a, done_b), 300 * kUs);
+}
+
+TEST(Scheduler, IdleHookRunsOnIdleCpu) {
+  Machine m(config(2));
+  int polls = 0;
+  const int hook_id = m.node().add_idle_hook([&](Cpu& cpu) {
+    ++polls;
+    if (polls >= 5) return false;  // no more work: let the cpu park
+    // A real hook consumes time; emulate a 1us poll round.
+    SimDuration left = 1 * kUs;
+    while (left > 0) left = cpu.compute_chunk(left);
+    return true;
+  });
+  m.node().spawn([&] { this_thread::compute(10 * kUs); }, Priority::kNormal,
+                 "app", 0);
+  m.eng.run();
+  EXPECT_GE(polls, 5);
+  m.node().remove_idle_hook(hook_id);
+}
+
+TEST(Scheduler, IdleHookStopsWhenNoWork) {
+  Machine m(config(1));
+  int polls = 0;
+  m.node().add_idle_hook([&](Cpu&) {
+    ++polls;
+    return false;  // never has work
+  });
+  m.node().spawn([] {});
+  m.eng.run();  // must terminate: the parked cpu stops polling
+  EXPECT_GE(polls, 1);
+  EXPECT_LE(polls, 4);
+}
+
+TEST(Scheduler, TickHookFiresWhileBusy) {
+  Config cfg = config(1);
+  cfg.timer_tick = 20 * kUs;
+  Machine m(cfg);
+  int ticks = 0;
+  m.node().add_tick_hook([&](Cpu&) { ++ticks; });
+  m.node().spawn([&] { this_thread::compute(200 * kUs); });
+  m.eng.run();
+  // ~200us of busy time at one tick per 20us.
+  EXPECT_GE(ticks, 8);
+  EXPECT_LE(ticks, 12);
+}
+
+TEST(Scheduler, SwitchHookFiresOnContextSwitch) {
+  Machine m(config(1));
+  int switches = 0;
+  m.node().add_switch_hook([&](Cpu&) { ++switches; });
+  m.node().spawn([&] { this_thread::yield(); });
+  m.node().spawn([] {});
+  m.eng.run();
+  EXPECT_GE(switches, 3);  // t1, t2, t1-again at minimum
+}
+
+TEST(Scheduler, FindIdleCpu) {
+  Machine m(config(2));
+  Cpu* observed = nullptr;
+  m.node().spawn(
+      [&] {
+        this_thread::compute(5 * kUs);
+        observed = m.node().find_idle_cpu();
+        this_thread::compute(5 * kUs);
+      },
+      Priority::kNormal, "app", 0);
+  m.eng.run();
+  ASSERT_NE(observed, nullptr);
+  EXPECT_EQ(observed->index(), 1u);
+}
+
+TEST(Scheduler, IdleCpuCountTracksLoad) {
+  Machine m(config(4));
+  unsigned during = 99;
+  m.node().spawn([&] {
+    this_thread::compute(5 * kUs);
+    during = m.node().idle_cpu_count();
+  });
+  m.eng.run();
+  EXPECT_EQ(during, 3u);
+}
+
+TEST(Scheduler, MultiNodeIsolation) {
+  Config cfg;
+  cfg.nodes = 2;
+  cfg.cpus_per_node = 1;
+  Machine m(cfg);
+  SimTime done0 = 0, done1 = 0;
+  m.node(0).spawn([&] { this_thread::compute(100 * kUs); done0 = m.eng.now(); });
+  m.node(1).spawn([&] { this_thread::compute(100 * kUs); done1 = m.eng.now(); });
+  m.eng.run();
+  // Different nodes never share cores: both finish in parallel.
+  EXPECT_LT(done0, 110 * kUs);
+  EXPECT_LT(done1, 110 * kUs);
+}
+
+}  // namespace
+}  // namespace pm2::marcel

@@ -1,0 +1,205 @@
+// Mutex / CondVar / Semaphore / Barrier semantics in virtual time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "marcel/sync.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+struct Machine {
+  sim::Engine eng;
+  Runtime rt;
+  explicit Machine(unsigned cpus) : rt(eng, make(cpus)) {}
+  static Config make(unsigned cpus) {
+    Config cfg;
+    cfg.nodes = 1;
+    cfg.cpus_per_node = cpus;
+    return cfg;
+  }
+  Node& node() { return rt.node(0); }
+};
+
+TEST(Mutex, MutualExclusionAcrossCpus) {
+  Machine m(4);
+  Mutex mu;
+  int in_section = 0;
+  int max_in_section = 0;
+  int entries = 0;
+  for (int i = 0; i < 4; ++i) {
+    m.node().spawn([&] {
+      for (int r = 0; r < 5; ++r) {
+        mu.lock();
+        ++in_section;
+        max_in_section = std::max(max_in_section, in_section);
+        this_thread::compute(10 * kUs);  // hold the lock across a suspension
+        --in_section;
+        ++entries;
+        mu.unlock();
+      }
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(entries, 20);
+  EXPECT_EQ(max_in_section, 1) << "two threads were inside the mutex";
+}
+
+TEST(Mutex, TryLock) {
+  Machine m(2);
+  Mutex mu;
+  bool second_failed = false;
+  m.node().spawn([&] {
+    mu.lock();
+    this_thread::compute(100 * kUs);
+    mu.unlock();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(10 * kUs);  // ensure first thread holds the lock
+    second_failed = !mu.try_lock();
+  });
+  m.eng.run();
+  EXPECT_TRUE(second_failed);
+}
+
+TEST(Mutex, FifoHandOff) {
+  Machine m(1);
+  Mutex mu;
+  std::vector<int> order;
+  m.node().spawn([&] {
+    mu.lock();
+    this_thread::compute(50 * kUs);  // let waiters pile up in order 1,2
+    mu.unlock();
+  });
+  for (int i = 1; i <= 2; ++i) {
+    m.node().spawn([&, i] {
+      this_thread::compute(static_cast<SimDuration>(i) * kUs);
+      mu.lock();
+      order.push_back(i);
+      mu.unlock();
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CondVar, WaitNotifyOne) {
+  Machine m(2);
+  Mutex mu;
+  CondVar cv;
+  bool flag = false;
+  SimTime woke_at = 0;
+  m.node().spawn([&] {
+    mu.lock();
+    cv.wait(mu, [&] { return flag; });
+    woke_at = m.eng.now();
+    mu.unlock();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(200 * kUs);
+    mu.lock();
+    flag = true;
+    mu.unlock();
+    cv.notify_one();
+  });
+  m.eng.run();
+  EXPECT_GE(woke_at, 200 * kUs);
+}
+
+TEST(CondVar, NotifyAllWakesEveryone) {
+  Machine m(4);
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    m.node().spawn([&] {
+      mu.lock();
+      cv.wait(mu, [&] { return go; });
+      ++woken;
+      mu.unlock();
+    });
+  }
+  m.node().spawn([&] {
+    this_thread::compute(50 * kUs);
+    mu.lock();
+    go = true;
+    mu.unlock();
+    cv.notify_all();
+  });
+  m.eng.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Machine m(4);
+  Semaphore sem(2);
+  int inside = 0, peak = 0, completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    m.node().spawn([&] {
+      sem.acquire();
+      ++inside;
+      peak = std::max(peak, inside);
+      this_thread::compute(20 * kUs);
+      --inside;
+      ++completed;
+      sem.release();
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_LE(peak, 2);
+  EXPECT_EQ(sem.value(), 2u);
+}
+
+TEST(Semaphore, TryAcquire) {
+  Machine m(1);
+  Semaphore sem(1);
+  bool first = false, second = false;
+  m.node().spawn([&] {
+    first = sem.try_acquire();
+    second = sem.try_acquire();
+    sem.release();
+  });
+  m.eng.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(Barrier, SynchronizesRounds) {
+  Machine m(4);
+  Barrier barrier(3);
+  std::vector<SimTime> after(3);
+  for (int i = 0; i < 3; ++i) {
+    m.node().spawn([&, i] {
+      this_thread::compute(static_cast<SimDuration>(10 + 40 * i) * kUs);
+      barrier.arrive_and_wait();
+      after[i] = m.eng.now();
+    });
+  }
+  m.eng.run();
+  // All must leave at (or after) the slowest arrival (~90us).
+  for (int i = 0; i < 3; ++i) EXPECT_GE(after[i], 90 * kUs);
+}
+
+TEST(Barrier, Reusable) {
+  Machine m(2);
+  Barrier barrier(2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    m.node().spawn([&] {
+      for (int r = 0; r < 5; ++r) {
+        this_thread::compute(5 * kUs);
+        barrier.arrive_and_wait();
+      }
+      ++rounds_done;
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+}  // namespace
+}  // namespace pm2::marcel

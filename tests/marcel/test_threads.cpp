@@ -1,0 +1,191 @@
+// Thread lifecycle, virtual-time compute semantics, sleep, join.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "marcel/sync.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+struct Machine {
+  sim::Engine eng;
+  Runtime rt;
+  explicit Machine(Config cfg = {}) : rt(eng, cfg) {}
+  Node& node(unsigned i = 0) { return rt.node(i); }
+};
+
+Config small_config(unsigned cpus) {
+  Config cfg;
+  cfg.nodes = 1;
+  cfg.cpus_per_node = cpus;
+  return cfg;
+}
+
+TEST(Threads, RunsAndFinishes) {
+  Machine m(small_config(1));
+  bool ran = false;
+  Thread& t = m.node().spawn([&] { ran = true; });
+  m.eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(t.finished());
+}
+
+TEST(Threads, ComputeAdvancesVirtualTime) {
+  Machine m(small_config(1));
+  SimTime end = 0;
+  m.node().spawn([&] {
+    this_thread::compute(50 * kUs);
+    end = m.eng.now();
+  });
+  m.eng.run();
+  // ctx switch cost plus exactly 50us of compute.
+  EXPECT_GE(end, 50 * kUs);
+  EXPECT_LE(end, 51 * kUs);
+}
+
+TEST(Threads, TwoThreadsOneCpuSerialize) {
+  Machine m(small_config(1));
+  SimTime done_a = 0, done_b = 0;
+  m.node().spawn([&] {
+    this_thread::compute(100 * kUs);
+    done_a = m.eng.now();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(100 * kUs);
+    done_b = m.eng.now();
+  });
+  m.eng.run();
+  const SimTime last = std::max(done_a, done_b);
+  EXPECT_GE(last, 200 * kUs) << "one core must serialize the two computes";
+  EXPECT_LE(last, 210 * kUs);
+}
+
+TEST(Threads, TwoThreadsTwoCpusOverlap) {
+  Machine m(small_config(2));
+  SimTime done_a = 0, done_b = 0;
+  m.node().spawn([&] {
+    this_thread::compute(100 * kUs);
+    done_a = m.eng.now();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(100 * kUs);
+    done_b = m.eng.now();
+  });
+  m.eng.run();
+  const SimTime last = std::max(done_a, done_b);
+  EXPECT_LT(last, 110 * kUs) << "two cores must run the computes in parallel";
+}
+
+TEST(Threads, SleepBlocksWithoutConsumingCpu) {
+  Machine m(small_config(1));
+  SimTime woke = 0;
+  SimDuration cpu_used = 0;
+  m.node().spawn([&] {
+    this_thread::sleep(500 * kUs);
+    woke = m.eng.now();
+    cpu_used = this_thread::self()->cpu_time();
+  });
+  m.eng.run();
+  EXPECT_GE(woke, 500 * kUs);
+  EXPECT_LT(cpu_used, 5 * kUs) << "sleep must not be accounted as compute";
+}
+
+TEST(Threads, SleeperYieldsCpuToOtherThread) {
+  Machine m(small_config(1));
+  SimTime other_done = 0;
+  m.node().spawn([&] { this_thread::sleep(1000 * kUs); });
+  m.node().spawn([&] {
+    this_thread::compute(100 * kUs);
+    other_done = m.eng.now();
+  });
+  m.eng.run();
+  EXPECT_LT(other_done, 200 * kUs)
+      << "the sleeper must not hold the core while blocked";
+}
+
+TEST(Threads, JoinWaitsForCompletion) {
+  Machine m(small_config(2));
+  SimTime join_returned = 0;
+  Thread& worker = m.node().spawn([&] { this_thread::compute(300 * kUs); });
+  m.node().spawn([&] {
+    worker.join();
+    join_returned = m.eng.now();
+  });
+  m.eng.run();
+  EXPECT_GE(join_returned, 300 * kUs);
+}
+
+TEST(Threads, JoinOnFinishedThreadReturnsImmediately) {
+  Machine m(small_config(1));
+  Thread& worker = m.node().spawn([] {});
+  SimTime joined = 0;
+  bool ok_flag = false;
+  m.node().spawn([&] {
+    this_thread::compute(50 * kUs);  // ensure worker finished first
+    worker.join();
+    joined = m.eng.now();
+    ok_flag = true;
+  });
+  m.eng.run();
+  EXPECT_TRUE(ok_flag);
+  EXPECT_GE(joined, 50 * kUs);
+}
+
+TEST(Threads, ManyThreadsAllComplete) {
+  Machine m(small_config(4));
+  constexpr int kThreads = 64;
+  int done = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    m.node().spawn([&done, i] {
+      this_thread::compute((1 + i % 7) * kUs);
+      ++done;
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(done, kThreads);
+}
+
+TEST(Threads, YieldInterleavesFairly) {
+  Machine m(small_config(1));
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    m.node().spawn([&order, i] {
+      for (int r = 0; r < 3; ++r) {
+        order.push_back(i);
+        this_thread::yield();
+      }
+    });
+  }
+  m.eng.run();
+  ASSERT_EQ(order.size(), 9u);
+  // Round-robin: first three entries are the three distinct threads.
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 0);
+}
+
+TEST(Threads, CpuTimeAccounting) {
+  Machine m(small_config(2));
+  m.node().spawn([&] { this_thread::compute(70 * kUs); });
+  m.node().spawn([&] { this_thread::compute(30 * kUs); });
+  m.eng.run();
+  const auto total = m.rt.total_stats();
+  EXPECT_GE(total.thread_busy_ns, 100 * kUs);
+  EXPECT_LE(total.thread_busy_ns, 102 * kUs);
+}
+
+TEST(Threads, ReapFinished) {
+  Machine m(small_config(1));
+  m.node().spawn([] {});
+  m.node().spawn([] {});
+  m.eng.run();
+  EXPECT_EQ(m.node().live_threads(), 0u);
+  m.node().reap_finished();
+}
+
+}  // namespace
+}  // namespace pm2::marcel

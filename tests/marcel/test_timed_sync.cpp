@@ -1,0 +1,149 @@
+// Timed synchronization and a randomized scheduler stress test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "marcel/sync.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace pm2::marcel {
+namespace {
+
+struct Machine {
+  sim::Engine eng;
+  Runtime rt;
+  explicit Machine(unsigned cpus, unsigned nodes = 1)
+      : rt(eng, mk(cpus, nodes)) {}
+  static Config mk(unsigned cpus, unsigned nodes) {
+    Config c;
+    c.nodes = nodes;
+    c.cpus_per_node = cpus;
+    return c;
+  }
+  Node& node(unsigned i = 0) { return rt.node(i); }
+};
+
+TEST(TimedSync, WaitForTimesOut) {
+  Machine m(2);
+  Mutex mu;
+  CondVar cv;
+  bool notified = true;
+  SimTime woke = 0;
+  m.node().spawn([&] {
+    mu.lock();
+    notified = cv.wait_for(mu, 100 * kUs);
+    EXPECT_TRUE(mu.locked()) << "mutex must be re-acquired after timeout";
+    woke = m.eng.now();
+    mu.unlock();
+  });
+  m.eng.run();
+  EXPECT_FALSE(notified);
+  EXPECT_GE(woke, 100 * kUs);
+  EXPECT_LE(woke, 110 * kUs);
+}
+
+TEST(TimedSync, WaitForNotifiedInTime) {
+  Machine m(2);
+  Mutex mu;
+  CondVar cv;
+  bool notified = false;
+  m.node().spawn([&] {
+    mu.lock();
+    notified = cv.wait_for(mu, 1000 * kUs);
+    mu.unlock();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(50 * kUs);
+    cv.notify_one();
+  });
+  m.eng.run();
+  EXPECT_TRUE(notified);
+  EXPECT_LT(m.eng.now(), 200 * kUs);
+}
+
+TEST(TimedSync, TimeoutDoesNotEatLaterNotify) {
+  // After a timeout, a subsequent notify_one must not target the stale
+  // waiter entry.
+  Machine m(2);
+  Mutex mu;
+  CondVar cv;
+  int round2_notified = 0;
+  m.node().spawn([&] {
+    mu.lock();
+    EXPECT_FALSE(cv.wait_for(mu, 20 * kUs));  // times out
+    // Wait again; this time a notify arrives.
+    if (cv.wait_for(mu, 1000 * kUs)) ++round2_notified;
+    mu.unlock();
+  });
+  m.node().spawn([&] {
+    this_thread::compute(200 * kUs);
+    cv.notify_one();
+  });
+  m.eng.run();
+  EXPECT_EQ(round2_notified, 1);
+}
+
+TEST(SchedulerStress, RandomWorkloadAllThreadsFinish) {
+  // 40 threads over 2 nodes × 4 cpus doing random mixes of compute,
+  // yields, sleeps and cross-thread joins.  Everything must terminate and
+  // be deterministic.
+  auto run_once = [] {
+    Machine m(4, 2);
+    sim::Rng rng(2024);
+    int finished = 0;
+    std::vector<Thread*> earlier;
+    for (int i = 0; i < 40; ++i) {
+      const unsigned node_id = rng.next_below(2);
+      const std::uint64_t seed = rng.next();
+      Thread* maybe_join =
+          (!earlier.empty() && rng.next_below(3) == 0)
+              ? earlier[rng.next_below(earlier.size())]
+              : nullptr;
+      Thread& t = m.node(node_id).spawn([&finished, seed, maybe_join] {
+        sim::Rng local(seed);
+        for (int op = 0; op < 6; ++op) {
+          switch (local.next_below(3)) {
+            case 0:
+              this_thread::compute(local.next_below(30) * kUs);
+              break;
+            case 1:
+              this_thread::yield();
+              break;
+            case 2:
+              this_thread::sleep(local.next_below(50) * kUs);
+              break;
+          }
+        }
+        if (maybe_join != nullptr && maybe_join->node().index() ==
+                                         this_thread::self()->node().index()) {
+          maybe_join->join();
+        }
+        ++finished;
+      });
+      earlier.push_back(&t);
+    }
+    m.eng.run();
+    EXPECT_EQ(finished, 40);
+    return m.eng.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SchedulerStress, OversubscribedManyToFew) {
+  Machine m(2);
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    m.node().spawn([&done, i] {
+      this_thread::compute((1 + i % 5) * kUs);
+      if (i % 3 == 0) this_thread::yield();
+      ++done;
+    });
+  }
+  m.eng.run();
+  EXPECT_EQ(done, 100);
+}
+
+}  // namespace
+}  // namespace pm2::marcel

@@ -1,0 +1,125 @@
+// Heterogeneous rails: per-rail cost models, presets, and bandwidth-
+// proportional rendezvous striping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm2/cluster.hpp"
+
+namespace pm2::net {
+namespace {
+
+TEST(HeteroRails, PresetsAreOrdered) {
+  // Latency: qsnet < ib < myri << gige.  Bandwidth: ib > myri > qsnet > gige.
+  EXPECT_LT(CostModel::qsnet_elan4().wire_latency,
+            CostModel::infiniband_ddr().wire_latency);
+  EXPECT_LT(CostModel::infiniband_ddr().wire_latency,
+            CostModel::myri10g().wire_latency);
+  EXPECT_LT(CostModel::myri10g().wire_latency,
+            CostModel::gige_tcp().wire_latency);
+  EXPECT_GT(CostModel::infiniband_ddr().bandwidth_bytes_per_ns(),
+            CostModel::myri10g().bandwidth_bytes_per_ns());
+  EXPECT_GT(CostModel::myri10g().bandwidth_bytes_per_ns(),
+            CostModel::gige_tcp().bandwidth_bytes_per_ns());
+}
+
+TEST(HeteroRails, PerRailCostsApply) {
+  sim::Engine eng;
+  marcel::Config mc;
+  mc.nodes = 2;
+  mc.cpus_per_node = 1;
+  marcel::Runtime rt(eng, mc);
+  Fabric fabric(eng, 2, {CostModel::myri10g(), CostModel::gige_tcp()});
+  SimTime fast_arrival = 0, slow_arrival = 0;
+  fabric.nic(1, 0).set_rx_notify([&] { fast_arrival = eng.now(); });
+  fabric.nic(1, 1).set_rx_notify([&] { slow_arrival = eng.now(); });
+  rt.node(0).spawn([&] {
+    std::vector<std::byte> payload(4096, std::byte{1});
+    fabric.nic(0, 0).inject(1, payload);
+    fabric.nic(0, 1).inject(1, payload);
+  });
+  eng.run();
+  EXPECT_GT(slow_arrival, fast_arrival + 25 * kUs)
+      << "the GigE rail must be far slower than Myri-10G";
+}
+
+TEST(HeteroRails, StripingProportionalToBandwidth) {
+  // Myri-10G (1.25 GB/s) + IB DDR (2 GB/s): the IB rail should carry
+  // roughly 2/3.25 ≈ 62% of a large rendezvous payload.
+  ClusterConfig cfg;
+  cfg.rail_costs = {net::CostModel::myri10g(),
+                    net::CostModel::infiniband_ddr()};
+  cfg.nm.strategy = nm::StrategyKind::kMultirail;
+  cfg.nm.multirail_min = 64 * 1024;
+  Cluster cluster(cfg);
+  const std::size_t sz = 1024 * 1024;
+  std::vector<std::byte> data(sz, std::byte{3});
+  std::vector<std::byte> rx(sz);
+  cluster.run_on(0, [&] {
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  cluster.run_on(1, [&] {
+    cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, rx));
+  });
+  cluster.run();
+  EXPECT_EQ(rx, data);
+  const double myri_bytes =
+      static_cast<double>(cluster.fabric().nic(0, 0).stats().rdma_bytes);
+  const double ib_bytes =
+      static_cast<double>(cluster.fabric().nic(0, 1).stats().rdma_bytes);
+  const double ib_share = ib_bytes / (myri_bytes + ib_bytes);
+  EXPECT_NEAR(ib_share, 2.0 / 3.25, 0.05);
+}
+
+TEST(HeteroRails, BalancedStripesFinishTogether) {
+  // Proportional striping should beat even 50/50 striping on asymmetric
+  // rails.  Compare against a homogeneous pair of the slower rail.
+  auto transfer_time = [](std::vector<CostModel> rails) {
+    ClusterConfig cfg;
+    cfg.rail_costs = std::move(rails);
+    cfg.nm.strategy = nm::StrategyKind::kMultirail;
+    cfg.nm.multirail_min = 64 * 1024;
+    Cluster cluster(cfg);
+    const std::size_t sz = 2 * 1024 * 1024;
+    std::vector<std::byte> data(sz, std::byte{4});
+    std::vector<std::byte> rx(sz);
+    SimTime done = 0;
+    cluster.run_on(0, [&] {
+      cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+    });
+    cluster.run_on(1, [&] {
+      cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, rx));
+      done = cluster.now();
+    });
+    cluster.run();
+    return done;
+  };
+  const SimTime mixed = transfer_time(
+      {CostModel::myri10g(), CostModel::infiniband_ddr()});
+  const SimTime myri_pair =
+      transfer_time({CostModel::myri10g(), CostModel::myri10g()});
+  // Aggregate bandwidth 3.25 vs 2.5 GB/s: the mixed pair must win.
+  EXPECT_LT(mixed, myri_pair);
+}
+
+TEST(HeteroRails, GigeTcpStillCorrect) {
+  // The kernel-TCP profile (high latency, MTU segmentation) must still
+  // deliver everything intact.
+  ClusterConfig cfg;
+  cfg.cost = net::CostModel::gige_tcp();
+  Cluster cluster(cfg);
+  std::vector<std::byte> data(100'000, std::byte{9});
+  std::vector<std::byte> rx(100'000);
+  cluster.run_on(0, [&] {
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  cluster.run_on(1, [&] {
+    cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, rx));
+  });
+  cluster.run();
+  EXPECT_EQ(rx, data);
+  EXPECT_GT(cluster.now(), 60 * kUs) << "two 30us latencies minimum (rdv)";
+}
+
+}  // namespace
+}  // namespace pm2::net

@@ -1,0 +1,76 @@
+// MTU segmentation model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "netsim/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::net {
+namespace {
+
+SimTime deliver_time(CostModel cm, std::size_t bytes) {
+  sim::Engine eng;
+  marcel::Config mc;
+  mc.nodes = 2;
+  mc.cpus_per_node = 1;
+  marcel::Runtime rt(eng, mc);
+  Fabric fabric(eng, 2, 1, cm);
+  SimTime arrival = 0;
+  fabric.nic(1).set_rx_notify([&] { arrival = eng.now(); });
+  rt.node(0).spawn([&] {
+    fabric.nic(0).inject(1, std::vector<std::byte>(bytes, std::byte{1}));
+  });
+  eng.run();
+  return arrival;
+}
+
+TEST(Mtu, DisabledByDefault) {
+  CostModel cm;
+  EXPECT_EQ(cm.mtu, 0u);
+  // Sanity: a large message still arrives.
+  EXPECT_GT(deliver_time(cm, 64 * 1024), 0u);
+}
+
+TEST(Mtu, SegmentationAddsFrameOverhead) {
+  CostModel plain;
+  CostModel segmented = plain;
+  segmented.mtu = 1500;
+  segmented.frame_overhead = 200;
+  const std::size_t bytes = 15'000;  // 10 frames → 9 extra overheads
+  const SimTime t_plain = deliver_time(plain, bytes);
+  const SimTime t_seg = deliver_time(segmented, bytes);
+  EXPECT_EQ(t_seg - t_plain, 9u * 200u);
+}
+
+TEST(Mtu, NoOverheadBelowMtu) {
+  CostModel plain;
+  CostModel segmented = plain;
+  segmented.mtu = 1500;
+  EXPECT_EQ(deliver_time(plain, 1000), deliver_time(segmented, 1000));
+}
+
+TEST(Mtu, IntraNodeUnaffected) {
+  CostModel cm;
+  cm.mtu = 512;
+  cm.frame_overhead = 1000;
+  sim::Engine eng;
+  marcel::Config mc;
+  mc.nodes = 1;
+  mc.cpus_per_node = 1;
+  marcel::Runtime rt(eng, mc);
+  Fabric fabric(eng, 1, 1, cm);
+  SimTime arrival = 0;
+  fabric.nic(0).set_rx_notify([&] { arrival = eng.now(); });
+  rt.node(0).spawn([&] {
+    fabric.nic(0).inject(0, std::vector<std::byte>(8192, std::byte{1}));
+  });
+  eng.run();
+  // Intra-node: no segmentation; arrival = inject + intra costs only.
+  EXPECT_LT(arrival, cm.inject_cost(8192, true) + cm.intra_latency +
+                         cm.intra_time(8192) + 2 * kUs);
+}
+
+}  // namespace
+}  // namespace pm2::net

@@ -1,0 +1,126 @@
+// NIC details: rx-notify, intra-node injection cost, misuse aborts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "netsim/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::net {
+namespace {
+
+using marcel::this_thread::compute;
+
+struct Rig {
+  sim::Engine eng;
+  marcel::Runtime rt;
+  Fabric fabric;
+  explicit Rig(CostModel cm = {}) : rt(eng, mk()), fabric(eng, 2, 1, cm) {}
+  static marcel::Config mk() {
+    marcel::Config c;
+    c.nodes = 2;
+    c.cpus_per_node = 2;
+    return c;
+  }
+};
+
+std::vector<std::byte> bytes(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5c});
+}
+
+TEST(NicDetails, RxNotifyFiresOnEveryDelivery) {
+  Rig rig;
+  int notifies = 0;
+  rig.fabric.nic(1).set_rx_notify([&] { ++notifies; });
+  rig.rt.node(0).spawn([&] {
+    rig.fabric.nic(0).inject(1, bytes(64));
+    rig.fabric.nic(0).inject(1, bytes(64));
+  });
+  rig.eng.run();
+  EXPECT_EQ(notifies, 2);
+}
+
+TEST(NicDetails, RxNotifyIndependentOfInterrupts) {
+  Rig rig;
+  int notifies = 0, interrupts = 0;
+  rig.fabric.nic(1).set_rx_notify([&] { ++notifies; });
+  rig.rt.node(0).spawn([&] { rig.fabric.nic(0).inject(1, bytes(64)); });
+  rig.eng.run();
+  EXPECT_EQ(notifies, 1);
+  EXPECT_EQ(interrupts, 0) << "interrupts were never armed";
+}
+
+TEST(NicDetails, IntraNodeInjectionIsCheaper) {
+  Rig rig;
+  const std::size_t sz = 32 * 1024;
+  SimDuration intra_cpu = 0, inter_cpu = 0;
+  rig.rt.node(0).spawn([&] {
+    const SimDuration before = marcel::this_thread::self()->cpu_time();
+    rig.fabric.nic(0).inject(0, bytes(sz));  // loopback / shm
+    intra_cpu = marcel::this_thread::self()->cpu_time() - before;
+    const SimDuration mid = marcel::this_thread::self()->cpu_time();
+    rig.fabric.nic(0).inject(1, bytes(sz));  // NIC path
+    inter_cpu = marcel::this_thread::self()->cpu_time() - mid;
+  });
+  rig.eng.run();
+  EXPECT_LT(intra_cpu * 3, inter_cpu)
+      << "shm push must be far cheaper than PIO/registration";
+  const CostModel cm;
+  EXPECT_GE(intra_cpu, cm.inject_cost(sz, /*intra=*/true));
+  EXPECT_GE(inter_cpu, cm.inject_cost(sz, /*intra=*/false));
+}
+
+TEST(NicDetails, RdmaOverflowAborts) {
+  Rig rig;
+  std::vector<std::byte> small(100);
+  RdmaHandle handle = kInvalidRdmaHandle;
+  rig.rt.node(1).spawn(
+      [&] { handle = rig.fabric.nic(1).register_buffer(small); });
+  rig.rt.node(0).spawn([&] {
+    compute(5 * kUs);
+    rig.fabric.nic(0).rdma_put(1, handle, bytes(200), {});
+  });
+  EXPECT_DEATH(rig.eng.run(), "overflows");
+}
+
+TEST(NicDetails, UnregisterUnknownHandleAborts) {
+  Rig rig;
+  EXPECT_DEATH(rig.fabric.nic(0).unregister_buffer(9999), "unknown");
+}
+
+TEST(NicDetails, RdmaToUnregisteredBufferAborts) {
+  Rig rig;
+  rig.rt.node(0).spawn([&] {
+    rig.fabric.nic(0).rdma_put(1, /*handle=*/424242, bytes(64), {});
+  });
+  EXPECT_DEATH(rig.eng.run(), "unregistered");
+}
+
+TEST(NicDetails, CostModelHelpers) {
+  CostModel cm;
+  EXPECT_EQ(cm.inject_cost(0), cm.inject_base);
+  EXPECT_GT(cm.inject_cost(1024), cm.inject_cost(0));
+  EXPECT_EQ(cm.wire_time(0), 0u);
+  EXPECT_EQ(cm.wire_time(1250), 1000u);  // 1.25 GB/s → 0.8 ns/B
+  EXPECT_LT(cm.intra_time(4096), cm.wire_time(4096));
+}
+
+TEST(NicDetails, PollReturnsEventsInArrivalOrder) {
+  Rig rig;
+  rig.rt.node(0).spawn([&] {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<std::byte> payload(16, std::byte(i));
+      rig.fabric.nic(0).inject(1, payload);
+    }
+  });
+  rig.eng.run();
+  for (int i = 0; i < 5; ++i) {
+    auto ev = rig.fabric.nic(1).poll();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->data[0], std::byte(i));
+  }
+}
+
+}  // namespace
+}  // namespace pm2::net

@@ -1,0 +1,289 @@
+// MPI-flavoured layer: point-to-point wrappers and collectives
+// (dissemination barrier, binomial bcast, ring all-reduce, gather),
+// parameterized over world size and progression mode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "nmad/mpi.hpp"
+#include "pm2/cluster.hpp"
+
+namespace pm2::mpi {
+namespace {
+
+using Param = std::tuple<unsigned /*nodes*/, bool /*pioman*/>;
+
+class MpiWorld : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] unsigned world() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] bool pioman() const { return std::get<1>(GetParam()); }
+
+  ClusterConfig config() const {
+    ClusterConfig cfg;
+    cfg.nodes = world();
+    cfg.cpus_per_node = 4;
+    cfg.pioman = pioman();
+    return cfg;
+  }
+
+  /// Run `body(comm)` once per rank on its own node; returns after
+  /// simulation quiescence.
+  template <typename Body>
+  void run_world(Body body) {
+    Cluster cluster(config());
+    std::vector<Comm> comms;
+    comms.reserve(world());
+    for (unsigned r = 0; r < world(); ++r) {
+      comms.emplace_back(cluster.comm(r), world());
+    }
+    for (unsigned r = 0; r < world(); ++r) {
+      cluster.run_on(r, [&, r] { body(comms[r]); }, "rank");
+    }
+    cluster.run();
+  }
+};
+
+TEST_P(MpiWorld, RankAndSize) {
+  run_world([&](Comm& comm) {
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), comm.size());
+    EXPECT_EQ(comm.size(), static_cast<int>(world()));
+  });
+}
+
+TEST_P(MpiWorld, SendRecvNeighbours) {
+  if (world() < 2) GTEST_SKIP();
+  run_world([&](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<std::byte> out(64, std::byte(comm.rank() + 1));
+    std::vector<std::byte> in(64);
+    nm::Request* r = comm.irecv(prev, 5, in);
+    comm.send(next, 5, out);
+    comm.wait(r);
+    EXPECT_EQ(in[0], std::byte(prev + 1));
+  });
+}
+
+TEST_P(MpiWorld, BarrierSynchronizes) {
+  std::vector<SimTime> after(world(), 0);
+  Cluster cluster(config());
+  std::vector<Comm> comms;
+  for (unsigned r = 0; r < world(); ++r) {
+    comms.emplace_back(cluster.comm(r), world());
+  }
+  for (unsigned r = 0; r < world(); ++r) {
+    cluster.run_on(r, [&, r] {
+      // Rank r computes r*50us before the barrier; everyone must leave
+      // at (or after) the slowest arrival.
+      marcel::this_thread::compute(r * 50 * kUs);
+      comms[r].barrier();
+      after[r] = cluster.now();
+    });
+  }
+  cluster.run();
+  const SimTime slowest = (world() - 1) * 50 * kUs;
+  for (unsigned r = 0; r < world(); ++r) {
+    EXPECT_GE(after[r], slowest) << "rank " << r << " left too early";
+  }
+}
+
+TEST_P(MpiWorld, BarrierRepeats) {
+  run_world([&](Comm& comm) {
+    for (int i = 0; i < 5; ++i) comm.barrier();
+  });
+}
+
+TEST_P(MpiWorld, BcastFromEveryRoot) {
+  for (unsigned root = 0; root < world(); ++root) {
+    std::vector<std::vector<std::byte>> bufs(
+        world(), std::vector<std::byte>(512));
+    Cluster cluster(config());
+    std::vector<Comm> comms;
+    for (unsigned r = 0; r < world(); ++r) {
+      comms.emplace_back(cluster.comm(r), world());
+    }
+    for (unsigned r = 0; r < world(); ++r) {
+      cluster.run_on(r, [&, r, root] {
+        if (r == root) {
+          for (std::size_t i = 0; i < bufs[r].size(); ++i) {
+            bufs[r][i] = static_cast<std::byte>((root * 31 + i) & 0xff);
+          }
+        }
+        comms[r].bcast(bufs[r], static_cast<int>(root));
+      });
+    }
+    cluster.run();
+    for (unsigned r = 0; r < world(); ++r) {
+      EXPECT_EQ(bufs[r], bufs[root]) << "rank " << r << " root " << root;
+    }
+  }
+}
+
+TEST_P(MpiWorld, AllreduceSumCorrect) {
+  constexpr std::size_t kElems = 1000;  // not divisible by world size
+  std::vector<std::vector<double>> data(world(),
+                                        std::vector<double>(kElems));
+  for (unsigned r = 0; r < world(); ++r) {
+    for (std::size_t i = 0; i < kElems; ++i) {
+      data[r][i] = static_cast<double>(r + 1) + static_cast<double>(i) * 0.5;
+    }
+  }
+  run_world([&](Comm& comm) {
+    comm.allreduce_sum(data[static_cast<unsigned>(comm.rank())]);
+  });
+  const double n = world();
+  for (unsigned r = 0; r < world(); ++r) {
+    for (std::size_t i = 0; i < kElems; i += 97) {
+      const double expected =
+          n * (n + 1) / 2.0 + n * static_cast<double>(i) * 0.5;
+      EXPECT_DOUBLE_EQ(data[r][i], expected)
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST_P(MpiWorld, GatherToEveryRoot) {
+  for (unsigned root = 0; root < world(); ++root) {
+    std::vector<std::byte> gathered(world() * 16);
+    Cluster cluster(config());
+    std::vector<Comm> comms;
+    for (unsigned r = 0; r < world(); ++r) {
+      comms.emplace_back(cluster.comm(r), world());
+    }
+    std::vector<std::vector<std::byte>> contrib(
+        world(), std::vector<std::byte>(16));
+    for (unsigned r = 0; r < world(); ++r) {
+      std::fill(contrib[r].begin(), contrib[r].end(), std::byte(r + 10));
+      cluster.run_on(r, [&, r, root] {
+        comms[r].gather(contrib[r], gathered, static_cast<int>(root));
+      });
+    }
+    cluster.run();
+    for (unsigned r = 0; r < world(); ++r) {
+      EXPECT_EQ(gathered[r * 16], std::byte(r + 10))
+          << "slot " << r << " root " << root;
+    }
+  }
+}
+
+TEST_P(MpiWorld, CollectivesBackToBack) {
+  std::vector<std::vector<double>> data(world(), std::vector<double>(64, 1));
+  run_world([&](Comm& comm) {
+    comm.barrier();
+    comm.allreduce_sum(data[static_cast<unsigned>(comm.rank())]);
+    comm.barrier();
+    std::vector<std::byte> buf(32, std::byte(comm.rank()));
+    comm.bcast(buf, 0);
+    EXPECT_EQ(buf[0], std::byte{0});
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    EXPECT_DOUBLE_EQ(data[r][0], static_cast<double>(world()));
+  }
+}
+
+TEST_P(MpiWorld, ScatterFromRootDeliversSlices) {
+  std::vector<std::vector<std::byte>> out(world(),
+                                          std::vector<std::byte>(32));
+  std::vector<std::byte> source(world() * 32);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    source[i] = static_cast<std::byte>(i / 32 + 1);
+  }
+  run_world([&](Comm& comm) {
+    comm.scatter(source, out[static_cast<unsigned>(comm.rank())], 0);
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    EXPECT_EQ(out[r][0], std::byte(r + 1)) << "rank " << r;
+    EXPECT_EQ(out[r][31], std::byte(r + 1));
+  }
+}
+
+TEST_P(MpiWorld, AllgatherRing) {
+  std::vector<std::vector<std::byte>> all(
+      world(), std::vector<std::byte>(world() * 8));
+  run_world([&](Comm& comm) {
+    std::vector<std::byte> mine(8, std::byte(comm.rank() + 40));
+    comm.allgather(mine, all[static_cast<unsigned>(comm.rank())]);
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    for (unsigned s = 0; s < world(); ++s) {
+      EXPECT_EQ(all[r][s * 8], std::byte(s + 40))
+          << "rank " << r << " block " << s;
+    }
+  }
+}
+
+TEST_P(MpiWorld, ReduceSumToEveryRoot) {
+  for (unsigned root = 0; root < world(); ++root) {
+    std::vector<std::vector<double>> data(world(),
+                                          std::vector<double>(100));
+    Cluster cluster(config());
+    std::vector<Comm> comms;
+    for (unsigned r = 0; r < world(); ++r) {
+      comms.emplace_back(cluster.comm(r), world());
+      for (std::size_t i = 0; i < 100; ++i) {
+        data[r][i] = static_cast<double>(r + 1);
+      }
+    }
+    for (unsigned r = 0; r < world(); ++r) {
+      cluster.run_on(r, [&, r, root] {
+        comms[r].reduce_sum(data[r], static_cast<int>(root));
+      });
+    }
+    cluster.run();
+    const double n = world();
+    EXPECT_DOUBLE_EQ(data[root][0], n * (n + 1) / 2.0) << "root " << root;
+    EXPECT_DOUBLE_EQ(data[root][99], n * (n + 1) / 2.0);
+  }
+}
+
+TEST_P(MpiWorld, AlltoallPersonalized) {
+  constexpr std::size_t kBlock = 16;
+  std::vector<std::vector<std::byte>> rx(
+      world(), std::vector<std::byte>(world() * kBlock));
+  run_world([&](Comm& comm) {
+    const auto me = static_cast<unsigned>(comm.rank());
+    std::vector<std::byte> tx(world() * kBlock);
+    for (unsigned d = 0; d < world(); ++d) {
+      std::fill_n(tx.begin() + d * kBlock, kBlock,
+                  std::byte(me * 16 + d));
+    }
+    comm.alltoall(tx, rx[me], kBlock);
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    for (unsigned s = 0; s < world(); ++s) {
+      EXPECT_EQ(rx[r][s * kBlock], std::byte(s * 16 + r))
+          << "rank " << r << " from " << s;
+    }
+  }
+}
+
+TEST_P(MpiWorld, SendrecvRingRotation) {
+  if (world() < 2) GTEST_SKIP();
+  std::vector<std::vector<std::byte>> got(world(),
+                                          std::vector<std::byte>(8));
+  run_world([&](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    std::vector<std::byte> mine(8, std::byte(comm.rank() + 60));
+    comm.sendrecv(next, mine, prev, got[static_cast<unsigned>(comm.rank())]);
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    const unsigned prev = (r + world() - 1) % world();
+    EXPECT_EQ(got[r][0], std::byte(prev + 60));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, MpiWorld,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) ? "_Pioman" : "_AppDriven");
+    });
+
+}  // namespace
+}  // namespace pm2::mpi

@@ -1,0 +1,173 @@
+// Property tests of the paper's core claims:
+//  * PIOMan: time(isend; compute; wait) ≈ max(comm, comp)   (Figs. 5, 6)
+//  * baseline: the same sequence ≈ sum(comm, comp)
+//  * offloading never slows communication down (§2.2)
+//  * offloaded submissions actually run on idle cores.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm2/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+using marcel::this_thread::compute;
+
+ClusterConfig make_cfg(bool pioman) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cpus_per_node = 8;
+  cfg.pioman = pioman;
+  return cfg;
+}
+
+/// Run the Fig. 4 kernel once for `size` bytes with `comp` of computation.
+/// Returns the sender-side time of [isend; compute; swait].
+SimDuration fig4_once(bool pioman, std::size_t size, SimDuration comp) {
+  Cluster cluster(make_cfg(pioman));
+  std::vector<std::byte> data(size, std::byte{0x42});
+  std::vector<std::byte> rx(size);
+  SimDuration measured = 0;
+  cluster.run_on(0, [&] {
+    const SimTime t1 = cluster.now();
+    Request* s = cluster.comm(0).isend(1, 1, data);
+    compute(comp);
+    cluster.comm(0).wait(s);
+    measured = cluster.now() - t1;
+  });
+  cluster.run_on(1, [&] {
+    Request* r = cluster.comm(1).irecv(0, 1, rx);
+    compute(comp);
+    cluster.comm(1).wait(r);
+  });
+  cluster.run();
+  return measured;
+}
+
+/// Pure communication time (no compute) — the paper's reference curve.
+SimDuration comm_reference(bool pioman, std::size_t size) {
+  return fig4_once(pioman, size, 0);
+}
+
+TEST(Overlap, SmallMessagePiomanOverlaps) {
+  // 16K eager send: injection ≈ 24us of CPU. With 20us of compute, PIOMan
+  // must overlap: measured ≈ max(comm, comp), not the sum.
+  const std::size_t sz = 16 * 1024;
+  const SimDuration comp = 20 * kUs;
+  const SimDuration ref = comm_reference(true, sz);
+  const SimDuration overlapped = fig4_once(true, sz, comp);
+  const SimDuration expected_max = std::max(ref, comp);
+  EXPECT_LE(overlapped, expected_max + 5 * kUs)
+      << "PIOMan must overlap the injection with the compute";
+  EXPECT_GE(overlapped, expected_max);
+}
+
+TEST(Overlap, SmallMessageBaselineSums) {
+  const std::size_t sz = 16 * 1024;
+  const SimDuration comp = 20 * kUs;
+  const SimDuration ref = comm_reference(false, sz);
+  const SimDuration serial = fig4_once(false, sz, comp);
+  EXPECT_GE(serial, ref + comp)
+      << "the baseline cannot overlap: time must be at least the sum";
+}
+
+TEST(Overlap, RendezvousPiomanProgresses) {
+  // 256K rendezvous with 100us compute: the handshake must progress in the
+  // background so measured ≈ max(comm, comp).
+  const std::size_t sz = 256 * 1024;
+  const SimDuration comp = 100 * kUs;
+  const SimDuration ref = comm_reference(true, sz);
+  const SimDuration overlapped = fig4_once(true, sz, comp);
+  EXPECT_LE(overlapped, std::max(ref, comp) + 15 * kUs)
+      << "rendezvous handshake must progress while computing";
+}
+
+TEST(Overlap, RendezvousBaselineStalls) {
+  const std::size_t sz = 256 * 1024;
+  const SimDuration comp = 100 * kUs;
+  const SimDuration ref = comm_reference(false, sz);
+  const SimDuration serial = fig4_once(false, sz, comp);
+  // No background progression: the transfer only starts after the compute,
+  // so the total is (almost) the full sum.
+  EXPECT_GE(serial, ref + comp - 10 * kUs);
+}
+
+TEST(Overlap, OffloadOverheadIsSmall) {
+  // §4.1: when communication time equals computation time, the offload
+  // machinery costs ≈ 2us.
+  const std::size_t sz = 16 * 1024;
+  const SimDuration ref = comm_reference(true, sz);
+  const SimDuration comp = ref;  // crossover point
+  const SimDuration t = fig4_once(true, sz, comp);
+  EXPECT_LE(t, comp + 4 * kUs) << "offload overhead should be ~2us";
+}
+
+TEST(Overlap, OffloadNeverHurts) {
+  // §2.2: "the offload has no impact on regular computations" — PIOMan must
+  // never be noticeably slower than the baseline, for any size/compute mix.
+  for (const std::size_t sz : {1024u, 8192u, 65536u}) {
+    for (const SimDuration comp : {0 * kUs, 20 * kUs, 100 * kUs}) {
+      const SimDuration base = fig4_once(false, sz, comp);
+      const SimDuration piom = fig4_once(true, sz, comp);
+      EXPECT_LE(piom, base + 5 * kUs)
+          << "size=" << sz << " comp=" << to_us(comp) << "us";
+    }
+  }
+}
+
+TEST(Overlap, SubmissionRunsOnIdleCore) {
+  Cluster cluster(make_cfg(true));
+  std::vector<std::byte> data(8 * 1024, std::byte{1});
+  std::vector<std::byte> rx(8 * 1024);
+  cluster.run_on(0, [&] {
+    Request* s = cluster.comm(0).isend(1, 1, data);
+    compute(50 * kUs);
+    cluster.comm(0).wait(s);
+  });
+  cluster.run_on(1, [&] {
+    Request* r = cluster.comm(1).irecv(0, 1, rx);
+    compute(50 * kUs);
+    cluster.comm(1).wait(r);
+  });
+  cluster.run();
+  // The submission was posted and offloaded, not flushed in the wait.
+  EXPECT_GE(cluster.server(0)->stats().posted_offloaded, 1u);
+  EXPECT_EQ(rx, data);
+  // The application thread itself did (almost) no protocol work: its CPU
+  // time is the pure compute plus the cheap isend registration.
+  const auto total = cluster.runtime().total_stats();
+  EXPECT_GT(total.service_busy_ns, 10 * kUs)
+      << "protocol work must show up on service fibers (idle cores)";
+}
+
+TEST(Overlap, IsendReturnsQuicklyUnderPioman) {
+  // §2.2: with the classical engine even a non-blocking send takes dozens
+  // of µs; with PIOMan it only registers the request.
+  const std::size_t sz = 32 * 1024;
+  auto isend_cost = [&](bool pioman) {
+    Cluster cluster(make_cfg(pioman));
+    std::vector<std::byte> data(sz, std::byte{2});
+    std::vector<std::byte> rx(sz);
+    SimDuration cost = 0;
+    cluster.run_on(0, [&] {
+      const SimTime t1 = cluster.now();
+      Request* s = cluster.comm(0).isend(1, 1, data);
+      cost = cluster.now() - t1;
+      cluster.comm(0).wait(s);
+    });
+    cluster.run_on(1, [&] {
+      Request* r = cluster.comm(1).irecv(0, 1, rx);
+      cluster.comm(1).wait(r);
+    });
+    cluster.run();
+    return cost;
+  };
+  const SimDuration baseline_isend = isend_cost(false);
+  const SimDuration pioman_isend = isend_cost(true);
+  EXPECT_GE(baseline_isend, 40 * kUs) << "32K inline injection is expensive";
+  EXPECT_LE(pioman_isend, 2 * kUs) << "PIOMan isend must only register";
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,153 @@
+// Pack/Unpack (Madeleine-style gather/scatter messaging).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/pack.hpp"
+#include "pm2/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+ClusterConfig cfg(bool pioman = true) {
+  ClusterConfig c;
+  c.cpus_per_node = 4;
+  c.pioman = pioman;
+  return c;
+}
+
+std::vector<std::byte> filled(std::size_t n, int seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 17 + i) & 0xff);
+  }
+  return v;
+}
+
+class PackModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PackModes, ThreeSegmentsRoundTrip) {
+  Cluster cluster(cfg(GetParam()));
+  const auto a = filled(100, 1);
+  const auto b = filled(2000, 2);
+  const auto c = filled(37, 3);
+  std::vector<std::byte> ra(100), rb(2000), rc(37);
+  cluster.run_on(0, [&] {
+    Pack pack(cluster.comm(0), 1, 5);
+    pack.add(a);
+    pack.add(b);
+    pack.add(c);
+    EXPECT_EQ(pack.segments(), 3u);
+    EXPECT_EQ(pack.size(), 2137u);
+    Request* req = pack.send();
+    cluster.comm(0).wait(req);
+  });
+  cluster.run_on(1, [&] {
+    Unpack unpack(cluster.comm(1), 0, 5);
+    unpack.add(ra);
+    unpack.add(rb);
+    unpack.add(rc);
+    unpack.recv_and_wait();
+  });
+  cluster.run();
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+  EXPECT_EQ(rc, c);
+}
+
+TEST_P(PackModes, LargePackUsesRendezvous) {
+  Cluster cluster(cfg(GetParam()));
+  const auto big1 = filled(40 * 1024, 4);
+  const auto big2 = filled(40 * 1024, 5);
+  std::vector<std::byte> r1(40 * 1024), r2(40 * 1024);
+  cluster.run_on(0, [&] {
+    Pack pack(cluster.comm(0), 1, 6);
+    pack.add(big1);
+    pack.add(big2);
+    cluster.comm(0).wait(pack.send());
+  });
+  cluster.run_on(1, [&] {
+    Unpack unpack(cluster.comm(1), 0, 6);
+    unpack.add(r1);
+    unpack.add(r2);
+    unpack.recv_and_wait();
+  });
+  cluster.run();
+  EXPECT_EQ(r1, big1);
+  EXPECT_EQ(r2, big2);
+  EXPECT_EQ(cluster.comm(0).stats().rdv_sends, 1u)
+      << "80K pack must ride the rendezvous protocol as one message";
+}
+
+TEST_P(PackModes, ManyPacksSequential) {
+  Cluster cluster(cfg(GetParam()));
+  constexpr int kRounds = 10;
+  std::vector<std::vector<std::byte>> hdr(kRounds), body(kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    hdr[i] = filled(16, i);
+    body[i] = filled(512, 100 + i);
+  }
+  cluster.run_on(0, [&] {
+    for (int i = 0; i < kRounds; ++i) {
+      Pack pack(cluster.comm(0), 1, 7);
+      pack.add(hdr[i]);
+      pack.add(body[i]);
+      cluster.comm(0).wait(pack.send());
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < kRounds; ++i) {
+      std::vector<std::byte> h(16), bdy(512);
+      Unpack unpack(cluster.comm(1), 0, 7);
+      unpack.add(h);
+      unpack.add(bdy);
+      unpack.recv_and_wait();
+      EXPECT_EQ(h, hdr[i]) << "round " << i;
+      EXPECT_EQ(bdy, body[i]) << "round " << i;
+    }
+  });
+  cluster.run();
+}
+
+TEST_P(PackModes, LayoutMismatchAborts) {
+  Cluster cluster(cfg(GetParam()));
+  const auto data = filled(100, 1);
+  std::vector<std::byte> wrong(50);
+  cluster.run_on(0, [&] {
+    Pack pack(cluster.comm(0), 1, 8);
+    pack.add(data);
+    cluster.comm(0).wait(pack.send());
+  });
+  cluster.run_on(1, [&] {
+    Unpack unpack(cluster.comm(1), 0, 8);
+    unpack.add(wrong);  // 50 != 100
+    unpack.recv_and_wait();
+  });
+  EXPECT_DEATH(cluster.run(), "layout|too small");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PackModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Pioman" : "AppDriven";
+                         });
+
+TEST(Pack, DoubleSendAborts) {
+  Cluster cluster(cfg(true));
+  std::vector<std::byte> rx(4);
+  cluster.run_on(0, [&] {
+    Pack pack(cluster.comm(0), 1, 9);
+    const auto data = filled(4, 1);
+    pack.add(data);
+    (void)pack.send();
+    EXPECT_DEATH((void)pack.send(), "twice");
+  });
+  cluster.run_on(1, [&] {
+    Unpack unpack(cluster.comm(1), 0, 9);
+    unpack.add(rx);
+    unpack.recv_and_wait();
+  });
+  cluster.run();
+}
+
+}  // namespace
+}  // namespace pm2::nm

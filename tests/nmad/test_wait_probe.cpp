@@ -1,0 +1,204 @@
+// wait_for timeouts, probe, latency samples, wire jitter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm2/cluster.hpp"
+
+namespace pm2::nm {
+namespace {
+
+using marcel::this_thread::compute;
+
+ClusterConfig cfg(bool pioman = true) {
+  ClusterConfig c;
+  c.cpus_per_node = 4;
+  c.pioman = pioman;
+  return c;
+}
+
+class WaitForModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WaitForModes, TimesOutWhenNoSender) {
+  Cluster cluster(cfg(GetParam()));
+  std::vector<std::byte> rx(64);
+  Status st = Status::kOk;
+  SimTime elapsed = 0;
+  cluster.run_on(1, [&] {
+    Request* r = cluster.comm(1).irecv(0, 1, rx);
+    const SimTime t0 = cluster.now();
+    st = cluster.comm(1).wait_for(r, 200 * kUs);
+    elapsed = cluster.now() - t0;
+    // Request still valid after timeout: a real wait must still finish it.
+    EXPECT_EQ(st, Status::kTimedOut);
+    cluster.comm(1).wait(r);
+  });
+  cluster.run_on(0, [&] {
+    compute(400 * kUs);  // sender shows up only after the timeout
+    std::vector<std::byte> data(64, std::byte{1});
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  cluster.run();
+  EXPECT_EQ(st, Status::kTimedOut);
+  EXPECT_GE(elapsed, 200 * kUs);
+  EXPECT_LE(elapsed, 230 * kUs);
+}
+
+TEST_P(WaitForModes, SucceedsBeforeDeadline) {
+  Cluster cluster(cfg(GetParam()));
+  std::vector<std::byte> data(64, std::byte{2});
+  std::vector<std::byte> rx(64);
+  Status st = Status::kTimedOut;
+  cluster.run_on(0, [&] {
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  cluster.run_on(1, [&] {
+    Request* r = cluster.comm(1).irecv(0, 1, rx);
+    st = cluster.comm(1).wait_for(r, 10'000 * kUs);
+  });
+  cluster.run();
+  EXPECT_EQ(st, Status::kOk);
+  EXPECT_EQ(rx, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, WaitForModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Pioman" : "AppDriven";
+                         });
+
+TEST(WaitFor, PassiveTimedWaitWithCompetition) {
+  // Two threads on one core: the waiter blocks passively; the deadline
+  // event must still fire and wake it.
+  ClusterConfig c = cfg(true);
+  c.cpus_per_node = 1;
+  Cluster cluster(c);
+  std::vector<std::byte> rx(64);
+  Status st = Status::kOk;
+  cluster.run_on(1, [&] {
+    Request* r = cluster.comm(1).irecv(0, 1, rx);
+    st = cluster.comm(1).wait_for(r, 100 * kUs);
+    EXPECT_EQ(st, Status::kTimedOut);
+    cluster.comm(1).wait(r);  // completes once the sender finally sends
+  }, "waiter", 0);
+  cluster.run_on(1, [&] { compute(300 * kUs); }, "competitor", 0);
+  cluster.run_on(0, [&] {
+    compute(400 * kUs);
+    std::vector<std::byte> data(64, std::byte{5});
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+  });
+  cluster.run();
+  EXPECT_EQ(st, Status::kTimedOut);
+}
+
+TEST(Probe, DetectsBufferedMessage) {
+  Cluster cluster(cfg(true));
+  std::vector<std::byte> data(128, std::byte{7});
+  bool before = true, after = false;
+  cluster.run_on(0, [&] {
+    cluster.comm(0).wait(cluster.comm(0).isend(1, 9, data));
+  });
+  cluster.run_on(1, [&] {
+    before = cluster.comm(1).probe(0, 9);  // nothing arrived yet at t=0...
+    compute(200 * kUs);  // idle core processes the arrival meanwhile
+    after = cluster.comm(1).probe(0, 9);
+    std::vector<std::byte> rx(128);
+    cluster.comm(1).wait(cluster.comm(1).irecv(0, 9, rx));
+    EXPECT_FALSE(cluster.comm(1).probe(0, 9)) << "consumed by the irecv";
+  });
+  cluster.run();
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after);
+}
+
+TEST(Probe, DetectsBufferedRts) {
+  Cluster cluster(cfg(true));
+  std::vector<std::byte> data(100'000, std::byte{8});
+  bool seen = false;
+  cluster.run_on(0, [&] {
+    Request* s = cluster.comm(0).isend(1, 4, data);
+    compute(300 * kUs);
+    cluster.comm(0).wait(s);
+  });
+  cluster.run_on(1, [&] {
+    compute(150 * kUs);
+    seen = cluster.comm(1).probe(0, 4);
+    std::vector<std::byte> rx(100'000);
+    cluster.comm(1).wait(cluster.comm(1).irecv(0, 4, rx));
+  });
+  cluster.run();
+  EXPECT_TRUE(seen);
+}
+
+TEST(LatencySamples, Recorded) {
+  Cluster cluster(cfg(true));
+  std::vector<std::byte> data(1024, std::byte{1});
+  std::vector<std::byte> rx(1024);
+  cluster.run_on(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < 10; ++i) {
+      cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, rx));
+    }
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.comm(0).send_latency_us().count(), 10u);
+  EXPECT_EQ(cluster.comm(1).recv_latency_us().count(), 10u);
+  EXPECT_GT(cluster.comm(0).send_latency_us().mean(), 0.0);
+  EXPECT_LT(cluster.comm(0).send_latency_us().max(), 100.0);
+}
+
+TEST(WireJitter, DeterministicAndFifo) {
+  auto run_once = [] {
+    ClusterConfig c = cfg(true);
+    c.cost.wire_jitter_ns = 3000;
+    Cluster cluster(c);
+    std::vector<std::vector<std::byte>> tx;
+    for (int i = 0; i < 20; ++i) {
+      tx.emplace_back(256, std::byte(i));
+    }
+    std::vector<std::vector<std::byte>> rx(20, std::vector<std::byte>(256));
+    cluster.run_on(0, [&] {
+      for (auto& m : tx) {
+        cluster.comm(0).wait(cluster.comm(0).isend(1, 1, m));
+      }
+    });
+    cluster.run_on(1, [&] {
+      for (auto& b : rx) {
+        cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, b));
+      }
+    });
+    cluster.run();
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(rx[i], tx[i]) << "jitter must not reorder a link";
+    }
+    return cluster.now();
+  };
+  EXPECT_EQ(run_once(), run_once()) << "seeded jitter must be deterministic";
+}
+
+TEST(WireJitter, IncreasesLatency) {
+  auto latency = [](SimDuration jitter) {
+    ClusterConfig c = cfg(true);
+    c.cost.wire_jitter_ns = jitter;
+    Cluster cluster(c);
+    std::vector<std::byte> data(1024, std::byte{1});
+    std::vector<std::byte> rx(1024);
+    SimTime done = 0;
+    cluster.run_on(0, [&] {
+      cluster.comm(0).wait(cluster.comm(0).isend(1, 1, data));
+    });
+    cluster.run_on(1, [&] {
+      cluster.comm(1).wait(cluster.comm(1).irecv(0, 1, rx));
+      done = cluster.now();
+    });
+    cluster.run();
+    return done;
+  };
+  EXPECT_GE(latency(50'000), latency(0));
+}
+
+}  // namespace
+}  // namespace pm2::nm

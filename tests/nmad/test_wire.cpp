@@ -1,0 +1,99 @@
+// Wire format: header serialization round trips and bounds checking.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nmad/wire.hpp"
+
+namespace pm2::nm {
+namespace {
+
+TEST(Wire, HeaderRoundTrip) {
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+  hdr.tag = 0xdeadbeef;
+  hdr.seq = 12345;
+  hdr.size = 4096;
+  hdr.rdv = 0x1122334455667788ull;
+  hdr.handle = 0x99aabbccddeeff00ull;
+
+  std::vector<std::byte> pkt;
+  append_header(pkt, hdr);
+  EXPECT_EQ(pkt.size(), sizeof(WireHeader));
+
+  std::size_t off = 0;
+  const WireHeader out = read_header(pkt, off);
+  EXPECT_EQ(off, sizeof(WireHeader));
+  EXPECT_EQ(out.kind, hdr.kind);
+  EXPECT_EQ(out.tag, hdr.tag);
+  EXPECT_EQ(out.seq, hdr.seq);
+  EXPECT_EQ(out.size, hdr.size);
+  EXPECT_EQ(out.rdv, hdr.rdv);
+  EXPECT_EQ(out.handle, hdr.handle);
+}
+
+TEST(Wire, HeaderPlusPayload) {
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+  hdr.size = 16;
+  std::vector<std::byte> payload(16);
+  for (int i = 0; i < 16; ++i) payload[i] = static_cast<std::byte>(i);
+
+  std::vector<std::byte> pkt;
+  append_header(pkt, hdr);
+  append_payload(pkt, payload);
+  EXPECT_EQ(pkt.size(), sizeof(WireHeader) + 16);
+
+  std::size_t off = 0;
+  const WireHeader out = read_header(pkt, off);
+  const auto view = read_payload(pkt, off, out.size);
+  EXPECT_EQ(off, pkt.size());
+  EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
+}
+
+TEST(Wire, MultipleMessagesSequential) {
+  std::vector<std::byte> pkt;
+  for (int m = 0; m < 5; ++m) {
+    WireHeader hdr;
+    hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+    hdr.seq = static_cast<Seq>(m);
+    hdr.size = static_cast<std::uint32_t>(m * 8);
+    append_header(pkt, hdr);
+    append_payload(pkt, std::vector<std::byte>(m * 8, std::byte(m)));
+  }
+  std::size_t off = 0;
+  for (int m = 0; m < 5; ++m) {
+    const WireHeader hdr = read_header(pkt, off);
+    EXPECT_EQ(hdr.seq, static_cast<Seq>(m));
+    const auto payload = read_payload(pkt, off, hdr.size);
+    for (const std::byte b : payload) EXPECT_EQ(b, std::byte(m));
+  }
+  EXPECT_EQ(off, pkt.size());
+}
+
+TEST(Wire, TruncatedHeaderAborts) {
+  std::vector<std::byte> pkt(sizeof(WireHeader) - 1);
+  std::size_t off = 0;
+  EXPECT_DEATH((void)read_header(pkt, off), "truncated");
+}
+
+TEST(Wire, TruncatedPayloadAborts) {
+  std::vector<std::byte> pkt;
+  WireHeader hdr;
+  hdr.size = 100;
+  append_header(pkt, hdr);
+  append_payload(pkt, std::vector<std::byte>(50));
+  std::size_t off = 0;
+  (void)read_header(pkt, off);
+  EXPECT_DEATH((void)read_payload(pkt, off, 100), "truncated");
+}
+
+TEST(Wire, HeaderIsExactly32Bytes) {
+  // The wire format is part of the ABI between simulated nodes; changing
+  // the size silently would break packet parsing.
+  static_assert(sizeof(WireHeader) == 32);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pm2::nm

@@ -1,0 +1,132 @@
+// Discrete-event engine: ordering, determinism, cancellation, run_until.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pm2::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, RunsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, FifoWithinTimestamp) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule_at(100, [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine eng;
+  std::vector<SimTime> times;
+  eng.schedule_at(5, [&] {
+    times.push_back(eng.now());
+    eng.schedule_after(7, [&] { times.push_back(eng.now()); });
+  });
+  eng.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 12}));
+}
+
+TEST(Engine, ScheduleNowRunsAfterQueuedSameTime) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10, [&] {
+    order.push_back(1);
+    eng.schedule_now([&] { order.push_back(3); });
+  });
+  eng.schedule_at(10, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, Cancel) {
+  Engine eng;
+  bool ran = false;
+  const EventId id = eng.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id)) << "double cancel must fail";
+  eng.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, CancelFromInsideEarlierEvent) {
+  Engine eng;
+  bool ran = false;
+  const EventId later = eng.schedule_at(20, [&] { ran = true; });
+  eng.schedule_at(10, [&] { EXPECT_TRUE(eng.cancel(later)); });
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(100, [&] { ++fired; });
+  EXPECT_TRUE(eng.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 50u);
+  EXPECT_TRUE(eng.run_until(200));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 200u);
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] {
+    ++fired;
+    eng.stop();
+  });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.events_pending(), 1u);
+  eng.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SchedulingIntoThePastAborts) {
+  Engine eng;
+  eng.schedule_at(100, [&] {
+    EXPECT_DEATH(eng.schedule_at(50, [] {}), "past");
+  });
+  eng.run();
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      eng.schedule_at(static_cast<SimTime>((i * 37) % 50),
+                      [&order, i] { order.push_back(i); });
+    }
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace pm2::sim

@@ -1,0 +1,158 @@
+// Stackful fiber switching: entry, suspend/resume cycles, nesting, locals
+// surviving across switches, many fibers, deep stacks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace pm2::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.started());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, SuspendResumeRoundTrips) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::suspend();
+    trace.push_back(3);
+    Fiber::suspend();
+    trace.push_back(5);
+  });
+  f.resume();
+  trace.push_back(2);
+  f.resume();
+  trace.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalsSurviveSuspension) {
+  std::string out;
+  Fiber f([&] {
+    std::string local = "hello";
+    int counter = 7;
+    Fiber::suspend();
+    local += " world";
+    counter *= 2;
+    Fiber::suspend();
+    out = local + std::to_string(counter);
+  });
+  f.resume();
+  f.resume();
+  f.resume();
+  EXPECT_EQ(out, "hello world14");
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  EXPECT_EQ(Fiber::current(), nullptr);
+  Fiber* seen = nullptr;
+  Fiber f([&] {
+    seen = Fiber::current();
+    Fiber::suspend();
+  });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(Fiber::current(), nullptr);
+  f.resume();
+}
+
+TEST(Fiber, NestedResume) {
+  std::vector<int> trace;
+  Fiber inner([&] {
+    trace.push_back(2);
+    Fiber::suspend();
+    trace.push_back(4);
+  });
+  Fiber outer([&] {
+    trace.push_back(1);
+    inner.resume();  // fiber resuming another fiber
+    trace.push_back(3);
+    inner.resume();
+    trace.push_back(5);
+  });
+  outer.resume();
+  EXPECT_TRUE(outer.finished());
+  EXPECT_TRUE(inner.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ManyFibersInterleaved) {
+  constexpr int kFibers = 64;
+  constexpr int kRounds = 10;
+  std::vector<int> counters(kFibers, 0);
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(kFibers);
+  for (int i = 0; i < kFibers; ++i) {
+    fibers.push_back(std::make_unique<Fiber>([&counters, i] {
+      for (int r = 0; r < kRounds; ++r) {
+        ++counters[i];
+        Fiber::suspend();
+      }
+    }));
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    for (auto& f : fibers) f->resume();
+  }
+  for (auto& f : fibers) f->resume();  // let bodies return
+  for (int i = 0; i < kFibers; ++i) {
+    EXPECT_EQ(counters[i], kRounds);
+    EXPECT_TRUE(fibers[i]->finished());
+  }
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Recursion touching ~128 KiB of stack must fit in the default stack.
+  struct Recur {
+    static int go(int depth) {
+      char pad[1024];
+      pad[0] = static_cast<char>(depth);
+      if (depth == 0) return pad[0];
+      return go(depth - 1) + (pad[0] != 0 ? 1 : 0);
+    }
+  };
+  int result = -1;
+  Fiber f([&] { result = Recur::go(100); });
+  f.resume();
+  EXPECT_EQ(result, 100);
+}
+
+TEST(Fiber, FloatingPointSurvivesSwitch) {
+  double a = 0.0;
+  Fiber f([&] {
+    double x = 1.5;
+    Fiber::suspend();
+    x *= 2.0;
+    a = x;
+  });
+  f.resume();
+  const double noise = 3.14159 * 2.71828;  // clobber FP regs in between
+  f.resume();
+  EXPECT_DOUBLE_EQ(a, 3.0);
+  EXPECT_GT(noise, 8.0);
+}
+
+TEST(Fiber, ResumeFinishedAborts) {
+  Fiber f([] {});
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_DEATH(f.resume(), "finished");
+}
+
+TEST(Fiber, SuspendOutsideFiberAborts) {
+  EXPECT_DEATH(Fiber::suspend(), "outside");
+}
+
+}  // namespace
+}  // namespace pm2::sim

@@ -1,0 +1,113 @@
+// Tracer: JSON structure, escaping, track metadata, Cluster integration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pm2/cluster.hpp"
+#include "sim/trace.hpp"
+
+namespace pm2::sim {
+namespace {
+
+TEST(Trace, EmptyTracerEmitsValidArray) {
+  Tracer tracer;
+  const std::string json = tracer.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find(']'), std::string::npos);
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Trace, SpanFields) {
+  Tracer tracer;
+  tracer.span("node0/cpu0", "worker", 1000, 3500, "thread");
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"name\":\"worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"thread\""), std::string::npos);
+}
+
+TEST(Trace, TrackMetadataEmitted) {
+  Tracer tracer;
+  tracer.span("node1/cpu3", "x", 0, 10);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("node1/cpu3"), std::string::npos);
+}
+
+TEST(Trace, SameTrackSharesTid) {
+  Tracer tracer;
+  tracer.span("t", "a", 0, 1);
+  tracer.span("t", "b", 1, 2);
+  tracer.span("u", "c", 2, 3);
+  // Two tracks → two metadata entries.
+  const std::string json = tracer.to_json();
+  std::size_t metas = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("thread_name", pos)) != std::string::npos; ++pos) {
+    ++metas;
+  }
+  EXPECT_EQ(metas, 2u);
+}
+
+TEST(Trace, InstantAndCounter) {
+  Tracer tracer;
+  tracer.instant("wire", "packet", 500);
+  tracer.counter("node0", "idle-cores", 600, 7);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(Trace, EscapesSpecialCharacters) {
+  Tracer tracer;
+  tracer.span("trk", "na\"me\\with\nstuff", 0, 1);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("na\\\"me\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(Trace, WriteJsonToFile) {
+  Tracer tracer;
+  tracer.span("t", "a", 0, 1000);
+  const std::string path = ::testing::TempDir() + "/pm2_trace_test.json";
+  ASSERT_TRUE(tracer.write_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = 0;
+  EXPECT_NE(std::string(buf).find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ClusterRecordsCpuSpans) {
+  Tracer tracer;
+  ClusterConfig cfg;
+  cfg.cpus_per_node = 4;
+  Cluster cluster(cfg);
+  cluster.attach_tracer(&tracer);
+  std::vector<std::byte> data(8192, std::byte{1});
+  std::vector<std::byte> rx(8192);
+  cluster.run_on(0, [&] {
+    nm::Request* s = cluster.comm(0).isend(1, 1, data);
+    marcel::this_thread::compute(40 * kUs);
+    cluster.comm(0).wait(s);
+  }, "sender");
+  cluster.run_on(1, [&] {
+    nm::Request* r = cluster.comm(1).irecv(0, 1, rx);
+    cluster.comm(1).wait(r);
+  }, "receiver");
+  cluster.run();
+  EXPECT_GT(tracer.event_count(), 4u);
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("sender"), std::string::npos);
+  EXPECT_NE(json.find("receiver"), std::string::npos);
+  // The offloaded submission shows up as service work on some core.
+  EXPECT_NE(json.find("service:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pm2::sim
