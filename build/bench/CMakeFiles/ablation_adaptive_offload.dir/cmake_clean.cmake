@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_offload.dir/ablation_adaptive_offload.cpp.o"
+  "CMakeFiles/ablation_adaptive_offload.dir/ablation_adaptive_offload.cpp.o.d"
+  "ablation_adaptive_offload"
+  "ablation_adaptive_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

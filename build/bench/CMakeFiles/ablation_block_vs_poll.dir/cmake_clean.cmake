@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_vs_poll.dir/ablation_block_vs_poll.cpp.o"
+  "CMakeFiles/ablation_block_vs_poll.dir/ablation_block_vs_poll.cpp.o.d"
+  "ablation_block_vs_poll"
+  "ablation_block_vs_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_vs_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

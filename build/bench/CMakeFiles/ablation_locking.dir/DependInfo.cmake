@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_locking.cpp" "bench/CMakeFiles/ablation_locking.dir/ablation_locking.cpp.o" "gcc" "bench/CMakeFiles/ablation_locking.dir/ablation_locking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm2/CMakeFiles/pm2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/pm2_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pm2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pm2_piom.dir/DependInfo.cmake"
+  "/root/repo/build/src/marcel/CMakeFiles/pm2_marcel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pm2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pm2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

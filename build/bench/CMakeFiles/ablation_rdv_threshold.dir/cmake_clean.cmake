@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rdv_threshold.dir/ablation_rdv_threshold.cpp.o"
+  "CMakeFiles/ablation_rdv_threshold.dir/ablation_rdv_threshold.cpp.o.d"
+  "ablation_rdv_threshold"
+  "ablation_rdv_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rdv_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

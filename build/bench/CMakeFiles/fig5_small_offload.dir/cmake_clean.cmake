@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_small_offload.dir/fig5_small_offload.cpp.o"
+  "CMakeFiles/fig5_small_offload.dir/fig5_small_offload.cpp.o.d"
+  "fig5_small_offload"
+  "fig5_small_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_small_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rdv_progress.dir/fig6_rdv_progress.cpp.o"
+  "CMakeFiles/fig6_rdv_progress.dir/fig6_rdv_progress.cpp.o.d"
+  "fig6_rdv_progress"
+  "fig6_rdv_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rdv_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netperf.dir/netperf.cpp.o"
+  "CMakeFiles/netperf.dir/netperf.cpp.o.d"
+  "netperf"
+  "netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

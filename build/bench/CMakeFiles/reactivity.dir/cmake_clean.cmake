@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactivity.dir/reactivity.cpp.o"
+  "CMakeFiles/reactivity.dir/reactivity.cpp.o.d"
+  "reactivity"
+  "reactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_stencil.dir/table1_stencil.cpp.o"
+  "CMakeFiles/table1_stencil.dir/table1_stencil.cpp.o.d"
+  "table1_stencil"
+  "table1_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_pi.dir/mpi_pi.cpp.o"
+  "CMakeFiles/mpi_pi.dir/mpi_pi.cpp.o.d"
+  "mpi_pi"
+  "mpi_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_convolution.dir/stencil_convolution.cpp.o"
+  "CMakeFiles/stencil_convolution.dir/stencil_convolution.cpp.o.d"
+  "stencil_convolution"
+  "stencil_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

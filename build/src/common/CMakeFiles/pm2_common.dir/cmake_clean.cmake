@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_common.dir/logging.cpp.o"
+  "CMakeFiles/pm2_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pm2_common.dir/stats.cpp.o"
+  "CMakeFiles/pm2_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pm2_common.dir/status.cpp.o"
+  "CMakeFiles/pm2_common.dir/status.cpp.o.d"
+  "libpm2_common.a"
+  "libpm2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_piom.dir/cond.cpp.o"
+  "CMakeFiles/pm2_piom.dir/cond.cpp.o.d"
+  "CMakeFiles/pm2_piom.dir/server.cpp.o"
+  "CMakeFiles/pm2_piom.dir/server.cpp.o.d"
+  "libpm2_piom.a"
+  "libpm2_piom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_piom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/marcel/cpu.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/cpu.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/cpu.cpp.o.d"
+  "/root/repo/src/marcel/node.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/node.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/node.cpp.o.d"
+  "/root/repo/src/marcel/runtime.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/runtime.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/runtime.cpp.o.d"
+  "/root/repo/src/marcel/sync.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/sync.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/sync.cpp.o.d"
+  "/root/repo/src/marcel/tasklet.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/tasklet.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/tasklet.cpp.o.d"
+  "/root/repo/src/marcel/thread.cpp" "src/marcel/CMakeFiles/pm2_marcel.dir/thread.cpp.o" "gcc" "src/marcel/CMakeFiles/pm2_marcel.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pm2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pm2_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_marcel.dir/cpu.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/cpu.cpp.o.d"
+  "CMakeFiles/pm2_marcel.dir/node.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/node.cpp.o.d"
+  "CMakeFiles/pm2_marcel.dir/runtime.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/runtime.cpp.o.d"
+  "CMakeFiles/pm2_marcel.dir/sync.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/sync.cpp.o.d"
+  "CMakeFiles/pm2_marcel.dir/tasklet.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/tasklet.cpp.o.d"
+  "CMakeFiles/pm2_marcel.dir/thread.cpp.o"
+  "CMakeFiles/pm2_marcel.dir/thread.cpp.o.d"
+  "libpm2_marcel.a"
+  "libpm2_marcel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_marcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_net.dir/fabric.cpp.o"
+  "CMakeFiles/pm2_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/pm2_net.dir/nic.cpp.o"
+  "CMakeFiles/pm2_net.dir/nic.cpp.o.d"
+  "libpm2_net.a"
+  "libpm2_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_nmad.dir/core.cpp.o"
+  "CMakeFiles/pm2_nmad.dir/core.cpp.o.d"
+  "CMakeFiles/pm2_nmad.dir/mpi.cpp.o"
+  "CMakeFiles/pm2_nmad.dir/mpi.cpp.o.d"
+  "CMakeFiles/pm2_nmad.dir/pack.cpp.o"
+  "CMakeFiles/pm2_nmad.dir/pack.cpp.o.d"
+  "CMakeFiles/pm2_nmad.dir/strategy.cpp.o"
+  "CMakeFiles/pm2_nmad.dir/strategy.cpp.o.d"
+  "CMakeFiles/pm2_nmad.dir/wire.cpp.o"
+  "CMakeFiles/pm2_nmad.dir/wire.cpp.o.d"
+  "libpm2_nmad.a"
+  "libpm2_nmad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_nmad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/pm2_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/pm2_cluster.dir/report.cpp.o"
+  "CMakeFiles/pm2_cluster.dir/report.cpp.o.d"
+  "CMakeFiles/pm2_cluster.dir/stencil.cpp.o"
+  "CMakeFiles/pm2_cluster.dir/stencil.cpp.o.d"
+  "libpm2_cluster.a"
+  "libpm2_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm2_sim.dir/engine.cpp.o"
+  "CMakeFiles/pm2_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pm2_sim.dir/fiber.cpp.o"
+  "CMakeFiles/pm2_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/pm2_sim.dir/rng.cpp.o"
+  "CMakeFiles/pm2_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pm2_sim.dir/trace.cpp.o"
+  "CMakeFiles/pm2_sim.dir/trace.cpp.o.d"
+  "libpm2_sim.a"
+  "libpm2_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm2_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

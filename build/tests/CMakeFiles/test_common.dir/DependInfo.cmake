@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_backoff.cpp" "tests/CMakeFiles/test_common.dir/common/test_backoff.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_backoff.cpp.o.d"
+  "/root/repo/tests/common/test_intrusive_list.cpp" "tests/CMakeFiles/test_common.dir/common/test_intrusive_list.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_intrusive_list.cpp.o.d"
+  "/root/repo/tests/common/test_mpmc_ring.cpp" "tests/CMakeFiles/test_common.dir/common/test_mpmc_ring.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_mpmc_ring.cpp.o.d"
+  "/root/repo/tests/common/test_mpsc_queue.cpp" "tests/CMakeFiles/test_common.dir/common/test_mpsc_queue.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_mpsc_queue.cpp.o.d"
+  "/root/repo/tests/common/test_spinlock.cpp" "tests/CMakeFiles/test_common.dir/common/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_spinlock.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_status.cpp" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm2/CMakeFiles/pm2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/pm2_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pm2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pm2_piom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pm2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pm2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marcel/CMakeFiles/pm2_marcel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_backoff.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_backoff.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_intrusive_list.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_intrusive_list.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_mpmc_ring.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_mpmc_ring.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_mpsc_queue.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_mpsc_queue.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_spinlock.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_cluster.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_cluster.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_invariants.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_invariants.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_overlap_laws.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_overlap_laws.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

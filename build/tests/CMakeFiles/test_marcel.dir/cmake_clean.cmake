@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marcel.dir/marcel/test_preemption.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_preemption.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_runtime.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_runtime.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_scheduler.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_sync.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_sync.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_tasklets.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_tasklets.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_threads.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_threads.cpp.o.d"
+  "CMakeFiles/test_marcel.dir/marcel/test_timed_sync.cpp.o"
+  "CMakeFiles/test_marcel.dir/marcel/test_timed_sync.cpp.o.d"
+  "test_marcel"
+  "test_marcel.pdb"
+  "test_marcel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

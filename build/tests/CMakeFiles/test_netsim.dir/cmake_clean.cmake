@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/test_fabric.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_fabric.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_hetero_rails.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_hetero_rails.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_mtu.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_mtu.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/test_nic_details.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/test_nic_details.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

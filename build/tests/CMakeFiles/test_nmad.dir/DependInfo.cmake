@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nmad/test_overlap.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_overlap.cpp.o.d"
+  "/root/repo/tests/nmad/test_pack.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_pack.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_pack.cpp.o.d"
+  "/root/repo/tests/nmad/test_requests.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_requests.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_requests.cpp.o.d"
+  "/root/repo/tests/nmad/test_sendrecv.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_sendrecv.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_sendrecv.cpp.o.d"
+  "/root/repo/tests/nmad/test_soak.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_soak.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_soak.cpp.o.d"
+  "/root/repo/tests/nmad/test_strategy.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_strategy.cpp.o.d"
+  "/root/repo/tests/nmad/test_wait_probe.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_wait_probe.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_wait_probe.cpp.o.d"
+  "/root/repo/tests/nmad/test_wire.cpp" "tests/CMakeFiles/test_nmad.dir/nmad/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_nmad.dir/nmad/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm2/CMakeFiles/pm2_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmad/CMakeFiles/pm2_nmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pm2_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pm2_piom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pm2_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pm2_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/marcel/CMakeFiles/pm2_marcel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmad.dir/nmad/test_overlap.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_overlap.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_pack.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_pack.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_requests.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_requests.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_sendrecv.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_sendrecv.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_soak.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_soak.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_strategy.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_strategy.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_wait_probe.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_wait_probe.cpp.o.d"
+  "CMakeFiles/test_nmad.dir/nmad/test_wire.cpp.o"
+  "CMakeFiles/test_nmad.dir/nmad/test_wire.cpp.o.d"
+  "test_nmad"
+  "test_nmad.pdb"
+  "test_nmad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

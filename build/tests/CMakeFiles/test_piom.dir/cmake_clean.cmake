@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_piom.dir/core/test_cond.cpp.o"
+  "CMakeFiles/test_piom.dir/core/test_cond.cpp.o.d"
+  "CMakeFiles/test_piom.dir/core/test_piom_policies.cpp.o"
+  "CMakeFiles/test_piom.dir/core/test_piom_policies.cpp.o.d"
+  "CMakeFiles/test_piom.dir/core/test_piom_server.cpp.o"
+  "CMakeFiles/test_piom.dir/core/test_piom_server.cpp.o.d"
+  "test_piom"
+  "test_piom.pdb"
+  "test_piom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_piom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
