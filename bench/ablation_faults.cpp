@@ -1,0 +1,99 @@
+// Ablation: what does reliability cost, and what does loss do to it?
+//
+// Sweeps fabric loss rates (0%, 0.1%, 1% — drop + duplicate + reorder +
+// corrupt, each at the given rate) against a many-message eager stream and
+// a rendezvous transfer, reporting goodput and mean message latency with
+// the reliable-delivery sublayer on.  The 0% row with reliability *off* is
+// the paper's lossless fast path and doubles as the overhead baseline.
+//
+// Seeded via nm::Config::fault_seed; set PM2_FAULT_SEED to replay a
+// different schedule without recompiling.
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "nmad/reliable.hpp"
+
+namespace pm2::bench {
+namespace {
+
+struct Result {
+  double goodput_mbps = 0;  // delivered payload bytes / total virtual time
+  double msg_lat_us = 0;    // mean receiver post-to-completion latency
+  std::uint64_t retransmits = 0;
+};
+
+Result run_stream(double rate, bool reliable, int msgs, std::size_t size) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = true;
+  cfg.nm.reliable = reliable;
+  cfg.faults.defaults.drop = rate;
+  cfg.faults.defaults.duplicate = rate;
+  cfg.faults.defaults.reorder = rate;
+  cfg.faults.defaults.corrupt = rate;
+  Cluster cluster(cfg);
+
+  std::vector<std::byte> payload(size, std::byte{0x6b});
+  std::vector<std::vector<std::byte>> rx(msgs,
+                                         std::vector<std::byte>(size));
+  cluster.run_on(0, [&] {
+    std::vector<nm::Request*> reqs;
+    reqs.reserve(msgs);
+    for (int i = 0; i < msgs; ++i) {
+      reqs.push_back(cluster.comm(0).isend(1, 1, payload));
+    }
+    for (nm::Request* s : reqs) cluster.comm(0).wait(s);
+  });
+  cluster.run_on(1, [&] {
+    for (int i = 0; i < msgs; ++i) {
+      nm::Request* r = cluster.comm(1).irecv(0, 1, rx[i]);
+      cluster.comm(1).wait(r);
+    }
+  });
+  cluster.run();
+
+  Result res;
+  const double total_s = static_cast<double>(cluster.now()) * 1e-9;
+  res.goodput_mbps = static_cast<double>(msgs) *
+                     static_cast<double>(size) / (1e6 * total_s);
+  res.msg_lat_us = cluster.comm(1).recv_latency_us().mean();
+  if (const nm::Reliability* rel = cluster.comm(0).reliability()) {
+    res.retransmits = rel->stats().retransmits;
+  }
+  return res;
+}
+
+void sweep(const char* title, int msgs, std::size_t size) {
+  print_header(title, {"loss", "goodput MB/s", "msg lat us", "rtx"});
+  print_cell("off/0%");
+  const Result base = run_stream(0.0, /*reliable=*/false, msgs, size);
+  print_cell(base.goodput_mbps);
+  print_cell(base.msg_lat_us);
+  print_cell(0.0);
+  end_row();
+  for (const double rate : {0.0, 0.001, 0.01}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%.1f%%", rate * 100);
+    print_cell(label);
+    const Result r = run_stream(rate, /*reliable=*/true, msgs, size);
+    print_cell(r.goodput_mbps);
+    print_cell(r.msg_lat_us);
+    print_cell(static_cast<double>(r.retransmits));
+    end_row();
+  }
+}
+
+}  // namespace
+}  // namespace pm2::bench
+
+int main() {
+  using namespace pm2::bench;
+  std::printf("Reliability ablation: goodput/latency vs fault rate\n");
+  std::printf("(row 'off/0%%' = sublayer disabled, the lossless fast path)\n");
+  sweep("eager stream, 200 x 4K", 200, 4 * 1024);
+  sweep("eager stream, 400 x 1K", 400, 1024);
+  sweep("rendezvous, 20 x 256K", 20, 256 * 1024);
+  return 0;
+}

@@ -1,6 +1,8 @@
-// Exponential backoff for spin loops (host threads).
+// Exponential backoff for spin loops (host threads) and bounded
+// exponential delays for retry timers (virtual time).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <thread>
 
@@ -43,6 +45,31 @@ class Backoff {
  private:
   static constexpr std::uint32_t kSpinLimit = 7;  // up to 128 PAUSEs
   std::uint32_t spins_ = 0;
+};
+
+/// Bounded exponential delay for retry/retransmit timers: starts at
+/// `initial`, doubles per escalation, saturates at `max`.  Unit-agnostic
+/// (the reliability sublayer feeds it virtual nanoseconds).
+class ExpDelay {
+ public:
+  explicit ExpDelay(std::uint64_t initial = 1, std::uint64_t max = 1) noexcept
+      : initial_(initial), max_(std::max(initial, max)), cur_(initial) {}
+
+  [[nodiscard]] std::uint64_t current() const noexcept { return cur_; }
+
+  /// Return the current delay and escalate for the next round.
+  std::uint64_t next() noexcept {
+    const std::uint64_t c = cur_;
+    cur_ = std::min(max_, cur_ * 2);
+    return c;
+  }
+
+  void reset() noexcept { cur_ = initial_; }
+
+ private:
+  std::uint64_t initial_;
+  std::uint64_t max_;
+  std::uint64_t cur_;
 };
 
 }  // namespace pm2

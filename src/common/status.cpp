@@ -12,6 +12,7 @@ std::string_view to_string(Status s) noexcept {
     case Status::kOutOfRange: return "out-of-range";
     case Status::kClosed: return "closed";
     case Status::kTimedOut: return "timed-out";
+    case Status::kCorrupt: return "corrupt";
     case Status::kInternal: return "internal";
   }
   return "unknown";

@@ -16,6 +16,7 @@ enum class Status : std::uint8_t {
   kOutOfRange,      // size/index outside configured bounds
   kClosed,          // endpoint or session shut down
   kTimedOut,        // wait deadline expired
+  kCorrupt,         // payload failed integrity verification (checksum)
   kInternal,        // engine invariant violated (bug)
 };
 

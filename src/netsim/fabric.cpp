@@ -51,6 +51,10 @@ std::span<std::byte> Fabric::rdma_target(unsigned node, RdmaHandle h) const {
   return it->second;
 }
 
+void Fabric::install_faults(FaultPlan plan, std::uint64_t seed) {
+  faults_ = std::make_unique<FaultInjector>(std::move(plan), seed);
+}
+
 Nic& Fabric::nic(unsigned node, unsigned rail) noexcept {
   PM2_ASSERT(node < nodes_ && rail < rails_);
   return *nics_[static_cast<std::size_t>(node) * rails_ + rail];
@@ -95,6 +99,34 @@ void Fabric::transmit(unsigned src, unsigned dst, unsigned rail,
 
   event.rdma_offset = rdma_offset;
   event.rdma_len = bytes;
+
+  // Fault injection: inter-node packet traffic only (the RDMA data channel
+  // is modelled as firmware-reliable, see faults.hpp).  No injector means
+  // this whole block is one never-taken branch — the lossless fast path.
+  if (faults_ != nullptr && !intra &&
+      event.kind == RxEvent::Kind::kPacket) [[unlikely]] {
+    const FaultAction act =
+        faults_->decide(src, dst, rail, engine_.now(), event.data.size());
+    if (act.drop) return;  // occupied the link, never arrives
+    if (act.corrupt) {
+      event.data[act.corrupt_bit >> 3] ^=
+          static_cast<std::byte>(1u << (act.corrupt_bit & 7));
+    }
+    if (act.extra_delay > 0) {
+      // Extra delay added *after* the FIFO clamp above: later packets keep
+      // their earlier arrivals, so delivery order genuinely breaks.
+      arrival += act.extra_delay;
+    }
+    for (unsigned c = 1; c <= act.extra_copies; ++c) {
+      constexpr SimDuration kDupGap = 500;  // ns between duplicate copies
+      RxEvent dup = event;
+      engine_.schedule_at(arrival + c * kDupGap,
+                          [this, dst, rail, ev = std::move(dup)]() mutable {
+                            nic(dst, rail).deliver(std::move(ev));
+                          });
+    }
+  }
+
   engine_.schedule_at(
       arrival, [this, dst, rail, ev = std::move(event),
                 cb = std::move(on_delivered)]() mutable {

@@ -9,6 +9,7 @@
 
 #include "common/simtime.hpp"
 #include "netsim/costmodel.hpp"
+#include "netsim/faults.hpp"
 #include "netsim/nic.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -43,6 +44,13 @@ class Fabric {
 
   /// RDMA registry is per *node* (all rails of a node share the memory
   /// registration unit), so multirail stripes can target one buffer.
+  /// Install a fault-injection plan (replaces any previous one).  The
+  /// injector applies to inter-node packet traffic only; with none
+  /// installed the lossless fast path is untouched.
+  void install_faults(FaultPlan plan, std::uint64_t seed);
+  /// The active injector, or nullptr when the fabric is lossless.
+  [[nodiscard]] FaultInjector* faults() noexcept { return faults_.get(); }
+
   [[nodiscard]] RdmaHandle register_rdma(unsigned node,
                                          std::span<std::byte> target);
   void unregister_rdma(unsigned node, RdmaHandle h);
@@ -69,6 +77,7 @@ class Fabric {
   std::vector<SimTime> busy_;               // [src][dst][rail] flattened
   std::vector<SimTime> last_arrival_;       // per link, keeps FIFO w/ jitter
   sim::Rng jitter_rng_;
+  std::unique_ptr<FaultInjector> faults_;
 
   std::vector<std::map<RdmaHandle, std::span<std::byte>>> rdma_;  // per node
   RdmaHandle next_rdma_ = 1;

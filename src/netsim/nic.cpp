@@ -31,6 +31,10 @@ void Nic::inject(unsigned dst, std::span<const std::byte> bytes) {
   // (application thread in the classical design, an idle core's tasklet
   // with PIOMan).
   charge_cpu(cm.inject_cost(bytes.size(), /*intra=*/dst == node_));
+  inject_raw(dst, bytes);
+}
+
+void Nic::inject_raw(unsigned dst, std::span<const std::byte> bytes) {
   RxEvent event;
   event.kind = RxEvent::Kind::kPacket;
   event.src_node = node_;

@@ -63,6 +63,13 @@ class Nic {
   /// `dst == node()` uses the intra-node shared-memory channel.
   void inject(unsigned dst, std::span<const std::byte> bytes);
 
+  /// Firmware-path injection: same wire behaviour as inject() but charges
+  /// no host CPU.  Used by the reliable-delivery sublayer for retransmits
+  /// and standalone ACKs, which a real NIC's link-level ARQ engine issues
+  /// without involving the host (MX-style firmware retransmission).  Safe
+  /// to call from engine context (timers).
+  void inject_raw(unsigned dst, std::span<const std::byte> bytes);
+
   /// Make `target` available for zero-copy writes from remote NICs.
   [[nodiscard]] RdmaHandle register_buffer(std::span<std::byte> target);
   void unregister_buffer(RdmaHandle h);

@@ -60,6 +60,32 @@ struct Config {
 
   /// Busy-wait pacing of the app-driven wait loop (baseline mode).
   SimDuration app_poll_gap = 300;  // ns
+
+  // ---- reliable-delivery sublayer (nmad/reliable.hpp) ----
+
+  /// Enable the link-level ARQ beneath the core: per-peer sequence
+  /// numbers, a receive reorder buffer, cumulative ACKs (piggybacked on
+  /// reverse traffic, standalone kAck otherwise), checksum verification,
+  /// and retransmission with exponential backoff.  Off = the paper's
+  /// lossless fast path, byte-identical to a build without the sublayer.
+  bool reliable = false;
+
+  /// Initial retransmission timeout; doubles per retry up to rto_max.
+  SimDuration rto_initial = 50 * 1000;   // ns
+  SimDuration rto_max = 2 * 1000 * 1000;  // ns
+
+  /// How long to wait for reverse traffic to piggyback a cumulative ACK
+  /// before a standalone kAck packet goes out.
+  SimDuration ack_delay = 10 * 1000;  // ns
+
+  /// Retransmissions before a packet is abandoned (pathological links);
+  /// abandonments are counted, never silent.
+  unsigned max_retransmits = 32;
+
+  /// Top-level seed for fault-injection schedules.  The Cluster facade
+  /// honours a PM2_FAULT_SEED environment override so lossy CLI/bench
+  /// runs are reproducible without recompiling.
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 }  // namespace pm2::nm

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/logging.hpp"
 #include "marcel/cpu.hpp"
+#include "nmad/reliable.hpp"
 
 namespace pm2::nm {
 
@@ -16,6 +18,7 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
       cfg_(cfg),
       strategy_(make_strategy(cfg_.strategy, cfg_)) {
   PM2_ASSERT((server_ != nullptr) == (cfg_.mode == ProgressMode::kPioman));
+  if (cfg_.reliable) reliable_ = std::make_unique<Reliability>(*this, cfg_);
   for (unsigned p = 0; p < fabric_.nodes(); ++p) {
     gates_.emplace_back();
     gates_.back().peer = p;
@@ -321,7 +324,7 @@ void Core::inject_eager_batch(Gate& gate, unsigned rail,
   }
   ++stats_.wire_packets;
   stats_.eager_sends += reqs.size();
-  fabric_.nic(node_id(), rail).inject(gate.peer, pkt);
+  send_packet(gate.peer, rail, std::move(pkt));
   // Buffered-send semantics: the payload now lives in registered memory /
   // on the wire, so the requests complete.
   for (Request* r : reqs) complete(*r);
@@ -347,7 +350,17 @@ void Core::inject_rts(Gate& gate, unsigned rail, Request& req) {
   append_header(pkt, hdr);
   ++stats_.rdv_sends;
   ++stats_.wire_packets;
-  fabric_.nic(node_id(), rail).inject(gate.peer, pkt);
+  send_packet(gate.peer, rail, std::move(pkt));
+}
+
+void Core::send_packet(unsigned dst, unsigned rail,
+                       std::vector<std::byte>&& pkt) {
+  if (reliable_ != nullptr && dst != node_id()) {
+    reliable_->send(dst, rail, std::move(pkt));
+  } else {
+    // Intra-node traffic never touches a lossy link; no ARQ needed.
+    fabric_.nic(node_id(), rail).inject(dst, pkt);
+  }
 }
 
 // ------------------------------------------------------------- reception
@@ -358,28 +371,66 @@ void Core::handle_event(net::RxEvent ev) {
     handle_rdma_done(ev);
     return;
   }
-  const std::span<const std::byte> pkt(ev.data);
+  if (reliable_ != nullptr && ev.src_node != node_id()) {
+    // The sublayer filters duplicates/corruption and releases packets in
+    // sequence order (several at once when a gap closes).
+    for (const std::vector<std::byte>& pkt :
+         reliable_->receive(ev.src_node, std::move(ev.data))) {
+      deliver_packet(ev.src_node, pkt);
+    }
+    return;
+  }
+  deliver_packet(ev.src_node, ev.data);
+}
+
+void Core::deliver_packet(unsigned src, std::span<const std::byte> pkt) {
   std::size_t off = 0;
-  const WireHeader hdr = read_header(pkt, off);
+  WireHeader hdr;
+  if (read_header(pkt, off, hdr) != Status::kOk) {
+    ++stats_.dropped_malformed;
+    PM2_DEBUG("node %u: dropping truncated packet from node %u", node_id(),
+              src);
+    return;
+  }
   switch (static_cast<PacketKind>(hdr.kind)) {
-    case PacketKind::kEager:
-      handle_eager(ev.src_node, hdr, read_payload(pkt, off, hdr.size));
+    case PacketKind::kEager: {
+      std::span<const std::byte> payload;
+      if (read_payload(pkt, off, hdr.size, payload) != Status::kOk) {
+        ++stats_.dropped_malformed;
+        return;
+      }
+      handle_eager(src, hdr, payload);
       break;
+    }
     case PacketKind::kAggregate:
       for (unsigned i = 0; i < hdr.count; ++i) {
-        const WireHeader sub = read_header(pkt, off);
-        PM2_ASSERT(static_cast<PacketKind>(sub.kind) == PacketKind::kEager);
-        handle_eager(ev.src_node, sub, read_payload(pkt, off, sub.size));
+        WireHeader sub;
+        std::span<const std::byte> payload;
+        if (read_header(pkt, off, sub) != Status::kOk ||
+            static_cast<PacketKind>(sub.kind) != PacketKind::kEager ||
+            read_payload(pkt, off, sub.size, payload) != Status::kOk) {
+          ++stats_.dropped_malformed;
+          return;
+        }
+        handle_eager(src, sub, payload);
       }
       break;
     case PacketKind::kRts:
-      handle_rts(ev.src_node, hdr);
+      handle_rts(src, hdr);
       break;
     case PacketKind::kCts:
       handle_cts(hdr);
       break;
+    case PacketKind::kAck:
+      // Consumed by the reliability sublayer; a stray one (e.g. sublayer
+      // disabled on this side) carries nothing for the core.
+      break;
     default:
-      PM2_UNREACHABLE("corrupt packet kind");
+      // Unknown kind: a corrupted byte on a fabric without the sublayer.
+      ++stats_.dropped_malformed;
+      PM2_DEBUG("node %u: dropping packet with unknown kind %u from node %u",
+                node_id(), static_cast<unsigned>(hdr.kind), src);
+      break;
   }
 }
 
@@ -399,7 +450,9 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
                    "receive buffer too small");
     // Expected message: single copy, NIC buffer → application buffer,
     // done by whoever is processing (an idle core, with PIOMan).
-    std::memcpy(req->recv_buf.data(), payload.data(), payload.size());
+    if (!payload.empty()) {
+      std::memcpy(req->recv_buf.data(), payload.data(), payload.size());
+    }
     req->received_len = payload.size();
     ++stats_.expected_eager;
     complete(*req);
@@ -451,12 +504,17 @@ void Core::start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
   std::vector<std::byte> pkt;
   append_header(pkt, cts);
   ++stats_.wire_packets;
-  nic.inject(src, pkt);
+  send_packet(src, 0, std::move(pkt));
 }
 
 void Core::handle_cts(const WireHeader& hdr) {
   const auto it = rdv_sends_.find(hdr.rdv);
-  PM2_ASSERT_MSG(it != rdv_sends_.end(), "CTS for an unknown rendezvous");
+  if (it == rdv_sends_.end()) {
+    // Duplicate or stale CTS — the fault fabric can replay the packet after
+    // the handshake already went through.
+    ++stats_.dropped_malformed;
+    return;
+  }
   Request& req = *it->second;
   rdv_sends_.erase(it);
   req.rdma_handle = hdr.handle;

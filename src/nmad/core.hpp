@@ -29,6 +29,8 @@
 
 namespace pm2::nm {
 
+class Reliability;
+
 /// Connection state towards one peer node (all rails).
 struct Gate {
   unsigned peer = 0;
@@ -96,6 +98,12 @@ class Core {
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] unsigned rails() const noexcept { return fabric_.rails(); }
 
+  /// The reliable-delivery sublayer, or nullptr when Config::reliable is
+  /// off (the paper's lossless fast path).
+  [[nodiscard]] const Reliability* reliability() const noexcept {
+    return reliable_.get();
+  }
+
   struct Stats {
     std::uint64_t sends = 0;
     std::uint64_t recvs = 0;
@@ -106,6 +114,7 @@ class Core {
     std::uint64_t unexpected_rts = 0;
     std::uint64_t wire_packets = 0;
     std::uint64_t aggregated_msgs = 0;  // messages that shared a packet
+    std::uint64_t dropped_malformed = 0;  // truncated/garbled, dropped
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -144,7 +153,13 @@ class Core {
   void complete(Request& req);
 
   void flush_gate(Gate& gate);
+
+  /// Route one outgoing wire packet: through the reliability sublayer when
+  /// enabled (and the destination is remote), straight to the NIC otherwise.
+  void send_packet(unsigned dst, unsigned rail, std::vector<std::byte>&& pkt);
+
   void handle_event(net::RxEvent ev);
+  void deliver_packet(unsigned src, std::span<const std::byte> pkt);
   void handle_eager(unsigned src, const WireHeader& hdr,
                     std::span<const std::byte> payload);
   void handle_rts(unsigned src, const WireHeader& hdr);
@@ -163,6 +178,7 @@ class Core {
   piom::Server* server_;
   Config cfg_;
   std::unique_ptr<Strategy> strategy_;
+  std::unique_ptr<Reliability> reliable_;
   std::deque<Gate> gates_;  // indexed by peer node id
 
   std::map<std::pair<unsigned, Tag>, Flow> flows_;

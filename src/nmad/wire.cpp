@@ -1,6 +1,17 @@
 #include "nmad/wire.hpp"
 
 namespace pm2::nm {
+namespace {
+
+constexpr std::size_t kChecksumOffset = offsetof(WireHeader, checksum);
+constexpr std::uint32_t kFnvBasis = 0x811c9dc5u;
+constexpr std::uint32_t kFnvPrime = 0x01000193u;
+
+std::uint32_t fnv1a(std::uint32_t h, std::uint8_t byte) noexcept {
+  return (h ^ byte) * kFnvPrime;
+}
+
+}  // namespace
 
 void append_header(std::vector<std::byte>& out, const WireHeader& hdr) {
   const auto* raw = reinterpret_cast<const std::byte*>(&hdr);
@@ -12,23 +23,51 @@ void append_payload(std::vector<std::byte>& out,
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
-WireHeader read_header(std::span<const std::byte> packet,
-                       std::size_t& offset) {
-  PM2_ASSERT_MSG(offset + sizeof(WireHeader) <= packet.size(),
-                 "truncated packet header");
-  WireHeader hdr;
-  std::memcpy(&hdr, packet.data() + offset, sizeof hdr);
-  offset += sizeof hdr;
-  return hdr;
+Status read_header(std::span<const std::byte> packet, std::size_t& offset,
+                   WireHeader& out) noexcept {
+  if (offset > packet.size() ||
+      packet.size() - offset < sizeof(WireHeader)) {
+    return Status::kOutOfRange;  // truncated packet header
+  }
+  std::memcpy(&out, packet.data() + offset, sizeof out);
+  offset += sizeof out;
+  return Status::kOk;
 }
 
-std::span<const std::byte> read_payload(std::span<const std::byte> packet,
-                                        std::size_t& offset,
-                                        std::size_t size) {
-  PM2_ASSERT_MSG(offset + size <= packet.size(), "truncated packet payload");
-  auto view = packet.subspan(offset, size);
+Status read_payload(std::span<const std::byte> packet, std::size_t& offset,
+                    std::size_t size,
+                    std::span<const std::byte>& out) noexcept {
+  if (offset > packet.size() || packet.size() - offset < size) {
+    return Status::kOutOfRange;  // truncated packet payload
+  }
+  out = packet.subspan(offset, size);
   offset += size;
-  return view;
+  return Status::kOk;
+}
+
+std::uint32_t packet_checksum(std::span<const std::byte> packet) noexcept {
+  std::uint32_t h = kFnvBasis;
+  for (std::size_t i = 0; i < packet.size(); ++i) {
+    const bool in_checksum_field =
+        i >= kChecksumOffset && i < kChecksumOffset + sizeof(std::uint32_t);
+    h = fnv1a(h, in_checksum_field
+                     ? 0
+                     : static_cast<std::uint8_t>(packet[i]));
+  }
+  return h;
+}
+
+void seal_packet(std::span<std::byte> packet) noexcept {
+  if (packet.size() < sizeof(WireHeader)) return;
+  const std::uint32_t sum = packet_checksum(packet);
+  std::memcpy(packet.data() + kChecksumOffset, &sum, sizeof sum);
+}
+
+Status verify_packet(std::span<const std::byte> packet) noexcept {
+  if (packet.size() < sizeof(WireHeader)) return Status::kOutOfRange;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, packet.data() + kChecksumOffset, sizeof stored);
+  return stored == packet_checksum(packet) ? Status::kOk : Status::kCorrupt;
 }
 
 }  // namespace pm2::nm

@@ -2,14 +2,23 @@
 //
 // A packet is a byte blob: one WireHeader, optionally followed by payload
 // (kEager) or by `count` embedded (header, payload) pairs (kAggregate).
+//
+// The header carries two optional reliability fields (psn/ack) plus a
+// whole-packet checksum; they are populated by the reliable-delivery
+// sublayer (nmad/reliable.hpp) and left zero on the lossless fast path.
+// Parsing is bounds-checked and reports truncation/corruption through
+// Status — a misbehaving (or fault-injected) peer must never be able to
+// crash the receiving engine.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <vector>
 
-#include "common/assert.hpp"
+#include "common/status.hpp"
 
 namespace pm2::nm {
 
@@ -21,11 +30,16 @@ enum class PacketKind : std::uint8_t {
   kRts = 2,       // rendezvous request-to-send (header only)
   kCts = 3,       // rendezvous clear-to-send (header only)
   kAggregate = 4, // container of several kEager sub-messages
+  kAck = 5,       // standalone cumulative ACK (reliability sublayer)
 };
+
+/// WireHeader::flags bit: psn/ack/checksum fields are meaningful (the
+/// packet went through the reliable-delivery sublayer).
+inline constexpr std::uint8_t kFlagReliable = 0x01;
 
 struct WireHeader {
   std::uint8_t kind = 0;     // PacketKind
-  std::uint8_t reserved = 0;
+  std::uint8_t flags = 0;    // kFlag* bits
   std::uint16_t count = 0;   // kAggregate: number of sub-messages
   Tag tag = 0;
   Seq seq = 0;
@@ -33,8 +47,14 @@ struct WireHeader {
                              // kRts: total message size
   std::uint64_t rdv = 0;     // kRts/kCts: sender-side rendezvous id
   std::uint64_t handle = 0;  // kCts: receiver's registered RDMA handle
+  std::uint32_t psn = 0;     // link-level packet sequence number (per peer)
+  std::uint32_t ack = 0;     // cumulative ACK: every psn < ack was received
+  std::uint32_t checksum = 0;// FNV-1a over the whole packet, this field
+                             // read as zero; only the leading header of a
+                             // packet carries it
+  std::uint32_t pad = 0;
 };
-static_assert(sizeof(WireHeader) == 32);
+static_assert(sizeof(WireHeader) == 48);
 static_assert(std::is_trivially_copyable_v<WireHeader>);
 
 /// Append a header to a packet under construction.
@@ -44,12 +64,28 @@ void append_header(std::vector<std::byte>& out, const WireHeader& hdr);
 void append_payload(std::vector<std::byte>& out,
                     std::span<const std::byte> payload);
 
-/// Read the header at `offset`; advances `offset` past it.
-[[nodiscard]] WireHeader read_header(std::span<const std::byte> packet,
-                                     std::size_t& offset);
+/// Read the header at `offset` into `out`; advances `offset` past it.
+/// Returns kOutOfRange (and leaves `offset` untouched) on truncation.
+[[nodiscard]] Status read_header(std::span<const std::byte> packet,
+                                 std::size_t& offset,
+                                 WireHeader& out) noexcept;
 
-/// View `size` payload bytes at `offset`; advances `offset` past them.
-[[nodiscard]] std::span<const std::byte> read_payload(
-    std::span<const std::byte> packet, std::size_t& offset, std::size_t size);
+/// View `size` payload bytes at `offset` through `out`; advances `offset`
+/// past them.  Returns kOutOfRange (offset untouched) on truncation.
+[[nodiscard]] Status read_payload(std::span<const std::byte> packet,
+                                  std::size_t& offset, std::size_t size,
+                                  std::span<const std::byte>& out) noexcept;
+
+/// Whole-packet FNV-1a-32 with the leading header's checksum field read as
+/// zero.  `packet` must hold at least one WireHeader.
+[[nodiscard]] std::uint32_t packet_checksum(
+    std::span<const std::byte> packet) noexcept;
+
+/// Compute the checksum and store it into the leading header in place.
+void seal_packet(std::span<std::byte> packet) noexcept;
+
+/// kOk if the stored checksum matches the recomputed one, kOutOfRange if
+/// the packet cannot even hold a header, kCorrupt on mismatch.
+[[nodiscard]] Status verify_packet(std::span<const std::byte> packet) noexcept;
 
 }  // namespace pm2::nm

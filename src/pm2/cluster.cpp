@@ -36,10 +36,22 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
         runtime_->node(i), *fabric_,
         cfg_.pioman ? servers_[i].get() : nullptr, cfg_.nm));
   }
+  if (!cfg_.faults.empty()) {
+    // A single top-level seed keeps lossy runs reproducible; the env
+    // override lets CLI benches replay a schedule without recompiling.
+    std::uint64_t seed = cfg_.nm.fault_seed;
+    if (const char* env = std::getenv("PM2_FAULT_SEED"); env != nullptr) {
+      seed = std::strtoull(env, nullptr, 0);
+    }
+    fabric_->install_faults(cfg_.faults, seed);
+  }
   if (const char* path = std::getenv("PM2_TRACE"); path != nullptr) {
     env_tracer_ = std::make_unique<sim::Tracer>();
     trace_path_ = path;
     runtime_->set_tracer(env_tracer_.get());
+    if (fabric_->faults() != nullptr) {
+      fabric_->faults()->set_tracer(env_tracer_.get());
+    }
   }
 }
 

@@ -40,6 +40,11 @@ struct ClusterConfig {
   /// Heterogeneous rails: when non-empty, one cost model per rail
   /// (overrides `rails` and `cost`).  E.g. {myri10g(), infiniband_ddr()}.
   std::vector<net::CostModel> rail_costs;
+
+  /// Fault-injection plan for the fabric (see netsim/faults.hpp).  An empty
+  /// plan installs nothing — the fabric keeps its zero-overhead fast path.
+  /// The injector is seeded from nm.fault_seed (PM2_FAULT_SEED overrides).
+  net::FaultPlan faults;
 };
 
 class Cluster {
@@ -77,7 +82,10 @@ class Cluster {
   /// Attach a timeline tracer (see sim/trace.hpp).  Alternatively set the
   /// PM2_TRACE environment variable to a path: the Cluster then creates a
   /// tracer and writes the Chrome-trace JSON on destruction.
-  void attach_tracer(sim::Tracer* tracer) { runtime_->set_tracer(tracer); }
+  void attach_tracer(sim::Tracer* tracer) {
+    runtime_->set_tracer(tracer);
+    if (fabric_->faults() != nullptr) fabric_->faults()->set_tracer(tracer);
+  }
 
  private:
   ClusterConfig cfg_;

@@ -9,6 +9,21 @@
 
 #include "common/assert.hpp"
 
+// Hand-rolled stack switches are invisible to AddressSanitizer: it keeps
+// shadow state per stack and must be notified before and after every
+// switch, or fiber frames read as poisoned memory.
+#if defined(__SANITIZE_ADDRESS__)
+#define PM2_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PM2_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PM2_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace pm2::sim {
 namespace {
 
@@ -86,6 +101,12 @@ extern "C" void pm2_fiber_entry_trampoline(Fiber* self) {
 }
 
 void fiber_entry_trampoline(Fiber* self) {
+#if defined(PM2_ASAN_FIBERS)
+  // First entry: no fake stack to restore (the fiber never left), but the
+  // resumer's stack bounds must be captured for the suspend back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
   self->body_();
   self->finished_ = true;
   // Return control to the resumer forever; resuming a finished fiber is a
@@ -144,8 +165,17 @@ void Fiber::resume() {
   t_current = this;
   running_ = true;
   started_ = true;
+#if defined(PM2_ASAN_FIBERS)
+  void* resumer_fake = nullptr;
+  __sanitizer_start_switch_fiber(
+      &resumer_fake, static_cast<char*>(stack_base_) + (alloc_size_ - stack_size_),
+      stack_size_);
+#endif
   pm2_ctx_switch(&resumer_sp_, sp_);
   // Back from the fiber: it suspended or finished.
+#if defined(PM2_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(resumer_fake, nullptr, nullptr);
+#endif
   t_current = parent_;
 }
 
@@ -153,8 +183,19 @@ void Fiber::suspend() {
   Fiber* self = t_current;
   PM2_ASSERT_MSG(self != nullptr, "suspend() outside a fiber");
   self->running_ = false;
+#if defined(PM2_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&self->asan_fake_,
+                                 self->asan_resumer_bottom_,
+                                 self->asan_resumer_size_);
+#endif
   pm2_ctx_switch(&self->sp_, self->resumer_sp_);
-  // Resumed again.
+  // Resumed again — possibly by a different context than last time, so
+  // re-capture the resumer's stack bounds.
+#if defined(PM2_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(self->asan_fake_,
+                                  &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
   self->running_ = true;
 }
 

@@ -56,6 +56,12 @@ class Fiber {
   void* sp_ = nullptr;           // saved stack pointer while suspended
   void* resumer_sp_ = nullptr;   // where to return on suspend
   Fiber* parent_ = nullptr;      // fiber that resumed us (nesting)
+  // AddressSanitizer fiber-switch bookkeeping; unused otherwise.  ASan must
+  // be told about every stack switch or it reports wild stack-use-after-
+  // return and misattributes redzones.
+  void* asan_fake_ = nullptr;            // fake-stack handle while suspended
+  const void* asan_resumer_bottom_ = nullptr;
+  std::size_t asan_resumer_size_ = 0;
   bool started_ = false;
   bool finished_ = false;
   bool running_ = false;

@@ -1,0 +1,240 @@
+// Fault injection: deterministic seeded schedules, each fault kind
+// observable at the NIC, time-windowed degradation, and the untouched
+// zero-plan fast path.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "marcel/runtime.hpp"
+#include "netsim/fabric.hpp"
+#include "netsim/faults.hpp"
+#include "sim/engine.hpp"
+
+namespace pm2::net {
+namespace {
+
+struct Rig {
+  sim::Engine eng;
+  marcel::Runtime rt;
+  Fabric fabric;
+  explicit Rig(unsigned rails = 1, CostModel cm = {})
+      : rt(eng, mk()), fabric(eng, 2, rails, cm) {}
+  static marcel::Config mk() {
+    marcel::Config c;
+    c.nodes = 2;
+    c.cpus_per_node = 2;
+    return c;
+  }
+};
+
+std::vector<std::byte> bytes(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed + i) & 0xff);
+  }
+  return v;
+}
+
+/// Drain node 1's NIC into a vector of payloads.
+std::vector<std::vector<std::byte>> drain(Rig& rig) {
+  std::vector<std::vector<std::byte>> got;
+  while (auto ev = rig.fabric.nic(1).poll()) {
+    got.push_back(std::move(ev->data));
+  }
+  return got;
+}
+
+TEST(Faults, EmptyPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.defaults.drop = 0.1;
+  EXPECT_FALSE(plan.empty());
+  plan.defaults.drop = 0.0;
+  plan.windows.push_back({.from = 0, .until = 100, .faults = {.corrupt = 1}});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(Faults, NoPlanInstalledLeavesFabricUntouched) {
+  // The acceptance bar for the fast path: a fabric without an injector
+  // behaves byte- and time-identically to one that never had the feature.
+  Rig plain;
+  Rig checked;
+  ASSERT_EQ(checked.fabric.faults(), nullptr);
+  SimTime t_plain = 0;
+  SimTime t_checked = 0;
+  for (Rig* rig : {&plain, &checked}) {
+    SimTime* t = rig == &plain ? &t_plain : &t_checked;
+    rig->rt.node(0).spawn([rig, t] {
+      for (int i = 0; i < 20; ++i) rig->fabric.nic(0).inject(1, bytes(256, i));
+      *t = rig->eng.now();
+    });
+    rig->eng.run();
+  }
+  EXPECT_EQ(t_plain, t_checked);
+  EXPECT_EQ(drain(plain).size(), 20u);
+  EXPECT_EQ(drain(checked).size(), 20u);
+}
+
+TEST(Faults, DropAllDeliversNothing) {
+  Rig rig;
+  FaultPlan plan;
+  plan.defaults.drop = 1.0;
+  rig.fabric.install_faults(plan, 42);
+  rig.rt.node(0).spawn([&] {
+    for (int i = 0; i < 8; ++i) rig.fabric.nic(0).inject(1, bytes(128, i));
+  });
+  rig.eng.run();
+  EXPECT_TRUE(drain(rig).empty());
+  EXPECT_EQ(rig.fabric.faults()->stats().dropped, 8u);
+  EXPECT_EQ(rig.fabric.faults()->stats().considered, 8u);
+}
+
+TEST(Faults, DuplicateAllDeliversTwice) {
+  Rig rig;
+  FaultPlan plan;
+  plan.defaults.duplicate = 1.0;
+  rig.fabric.install_faults(plan, 42);
+  rig.rt.node(0).spawn([&] {
+    for (int i = 0; i < 5; ++i) rig.fabric.nic(0).inject(1, bytes(64, i));
+  });
+  rig.eng.run();
+  const auto got = drain(rig);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(rig.fabric.faults()->stats().duplicated, 5u);
+  // Every original payload arrives exactly twice.
+  for (int i = 0; i < 5; ++i) {
+    const auto want = bytes(64, i);
+    EXPECT_EQ(std::count(got.begin(), got.end(), want), 2) << "payload " << i;
+  }
+}
+
+TEST(Faults, CorruptAllFlipsExactlyOneBit) {
+  Rig rig;
+  FaultPlan plan;
+  plan.defaults.corrupt = 1.0;
+  rig.fabric.install_faults(plan, 7);
+  const auto sent = bytes(200);
+  rig.rt.node(0).spawn([&] { rig.fabric.nic(0).inject(1, sent); });
+  rig.eng.run();
+  const auto got = drain(rig);
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].size(), sent.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const auto diff =
+        static_cast<unsigned>(std::to_integer<int>(got[0][i] ^ sent[i]));
+    flipped += __builtin_popcount(diff);
+  }
+  EXPECT_EQ(flipped, 1);
+  EXPECT_EQ(rig.fabric.faults()->stats().corrupted, 1u);
+}
+
+TEST(Faults, ReorderBreaksFifoDelivery) {
+  Rig rig;
+  FaultPlan plan;
+  plan.defaults.reorder = 0.5;
+  plan.defaults.reorder_delay_max = 200 * 1000;  // dwarf the wire time
+  rig.fabric.install_faults(plan, 0xfeed);
+  rig.rt.node(0).spawn([&] {
+    for (int i = 0; i < 30; ++i) rig.fabric.nic(0).inject(1, bytes(64, i));
+  });
+  rig.eng.run();
+  const auto got = drain(rig);
+  ASSERT_EQ(got.size(), 30u);
+  EXPECT_GT(rig.fabric.faults()->stats().reordered, 0u);
+  // All payloads arrive, but no longer in injection order.
+  std::set<std::vector<std::byte>> uniq(got.begin(), got.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  bool out_of_order = false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != bytes(64, static_cast<int>(i))) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(Faults, DegradeWindowAppliesOnlyInsideItsSpan) {
+  Rig rig;
+  FaultPlan plan;  // clean defaults
+  plan.windows.push_back({.from = 50 * 1000,
+                          .until = 150 * 1000,
+                          .src = 0,
+                          .dst = 1,
+                          .faults = {.drop = 1.0}});
+  rig.fabric.install_faults(plan, 1);
+  rig.rt.node(0).spawn([&] {
+    rig.fabric.nic(0).inject(1, bytes(32, 0));  // well before the window
+    while (rig.eng.now() < 100 * 1000) marcel::this_thread::compute(5 * 1000);
+    rig.fabric.nic(0).inject(1, bytes(32, 1));  // inside: dropped
+    while (rig.eng.now() < 200 * 1000) marcel::this_thread::compute(5 * 1000);
+    rig.fabric.nic(0).inject(1, bytes(32, 2));  // after: clean again
+  });
+  rig.eng.run();
+  const auto got = drain(rig);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], bytes(32, 0));
+  EXPECT_EQ(got[1], bytes(32, 2));
+  EXPECT_EQ(rig.fabric.faults()->stats().dropped, 1u);
+}
+
+TEST(Faults, PerLinkOverrideReplacesDefaults) {
+  // Defaults drop everything, but the 0→1 link is overridden to be clean.
+  FaultPlan plan;
+  plan.defaults.drop = 1.0;
+  plan.links[{0, 1}] = LinkFaults{};  // pristine override
+  FaultInjector inj(plan, 9);
+  EXPECT_FALSE(inj.decide(0, 1, 0, 0, 64).drop);
+  EXPECT_TRUE(inj.decide(1, 0, 0, 0, 64).drop);
+}
+
+TEST(Faults, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.defaults.drop = 0.3;
+  plan.defaults.duplicate = 0.2;
+  plan.defaults.reorder = 0.2;
+  plan.defaults.corrupt = 0.1;
+  FaultInjector a(plan, 1234);
+  FaultInjector b(plan, 1234);
+  FaultInjector c(plan, 4321);
+  bool any_difference_from_c = false;
+  for (int i = 0; i < 200; ++i) {
+    const FaultAction fa = a.decide(0, 1, 0, i * 100, 256);
+    const FaultAction fb = b.decide(0, 1, 0, i * 100, 256);
+    const FaultAction fc = c.decide(0, 1, 0, i * 100, 256);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.corrupt, fb.corrupt);
+    EXPECT_EQ(fa.extra_copies, fb.extra_copies);
+    EXPECT_EQ(fa.extra_delay, fb.extra_delay);
+    EXPECT_EQ(fa.corrupt_bit, fb.corrupt_bit);
+    if (fa.drop != fc.drop || fa.extra_copies != fc.extra_copies ||
+        fa.extra_delay != fc.extra_delay || fa.corrupt != fc.corrupt) {
+      any_difference_from_c = true;
+    }
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+  EXPECT_TRUE(any_difference_from_c);
+}
+
+TEST(Faults, RdmaTrafficIsNeverFaulted) {
+  // The RDMA data channel is firmware-reliable: even a 100%-drop plan must
+  // not touch it (only kPacket events are considered).
+  Rig rig;
+  FaultPlan plan;
+  plan.defaults.drop = 1.0;
+  rig.fabric.install_faults(plan, 3);
+  std::vector<std::byte> target(1024);
+  const auto payload = bytes(1024, 5);
+  bool delivered = false;
+  rig.rt.node(0).spawn([&] {
+    const RdmaHandle h = rig.fabric.nic(1).register_buffer(target);
+    rig.fabric.nic(0).rdma_put(1, h, payload, [&] { delivered = true; });
+  });
+  rig.eng.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(target, payload);
+  EXPECT_EQ(rig.fabric.faults()->stats().considered, 0u);
+}
+
+}  // namespace
+}  // namespace pm2::net

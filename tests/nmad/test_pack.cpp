@@ -138,7 +138,9 @@ TEST(Pack, DoubleSendAborts) {
     Pack pack(cluster.comm(0), 1, 9);
     const auto data = filled(4, 1);
     pack.add(data);
-    (void)pack.send();
+    // Wait: the Pack owns the staging buffer, which must outlive the
+    // (possibly strategy-deferred) injection.
+    cluster.comm(0).wait(pack.send());
     EXPECT_DEATH((void)pack.send(), "twice");
   });
   cluster.run_on(1, [&] {

@@ -51,12 +51,20 @@ std::byte pattern_byte(unsigned src, Tag tag, int idx, std::size_t offset) {
 }
 
 /// Run the plan; returns (end time, events).  EXPECTs verify payloads.
-std::pair<SimTime, std::uint64_t> run_plan(bool pioman, unsigned nodes,
-                                           const Traffic& plan) {
+/// A non-null `faults` installs the plan and turns the reliability
+/// sublayer on (lossy runs require PIOMan mode: its ltasks keep draining
+/// ACKs and retransmissions after the application threads finish).
+std::pair<SimTime, std::uint64_t> run_plan(
+    bool pioman, unsigned nodes, const Traffic& plan,
+    const net::FaultPlan* faults = nullptr) {
   ClusterConfig cfg;
   cfg.nodes = nodes;
   cfg.cpus_per_node = 4;
   cfg.pioman = pioman;
+  if (faults != nullptr) {
+    cfg.faults = *faults;
+    cfg.nm.reliable = true;
+  }
   Cluster cluster(cfg);
 
   // Pre-build buffers (stable addresses while requests are in flight).
@@ -128,6 +136,29 @@ TEST_P(Soak, TwoNodesAppDriven) {
 TEST_P(Soak, ThreeNodesPioman) {
   const Traffic plan = make_plan(GetParam(), 3, 6);
   run_plan(true, 3, plan);
+}
+
+TEST_P(Soak, TwoNodesPiomanLossy) {
+  // 1% of every fault kind at once; the reliability sublayer must still
+  // deliver every payload intact, exactly once, in order per flow.
+  net::FaultPlan faults;
+  faults.defaults.drop = 0.01;
+  faults.defaults.duplicate = 0.01;
+  faults.defaults.reorder = 0.01;
+  faults.defaults.corrupt = 0.01;
+  const Traffic plan = make_plan(GetParam(), 2, 10);
+  run_plan(true, 2, plan, &faults);
+}
+
+TEST_P(Soak, LossyDeterministic) {
+  net::FaultPlan faults;
+  faults.defaults.drop = 0.02;
+  faults.defaults.corrupt = 0.01;
+  const Traffic plan = make_plan(GetParam(), 2, 6);
+  const auto a = run_plan(true, 2, plan, &faults);
+  const auto b = run_plan(true, 2, plan, &faults);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
 }
 
 TEST_P(Soak, Deterministic) {

@@ -1,4 +1,5 @@
-// Wire format: header serialization round trips and bounds checking.
+// Wire format: header serialization round trips, bounds checking, and
+// whole-packet checksum seal/verify.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -16,13 +17,16 @@ TEST(Wire, HeaderRoundTrip) {
   hdr.size = 4096;
   hdr.rdv = 0x1122334455667788ull;
   hdr.handle = 0x99aabbccddeeff00ull;
+  hdr.psn = 77;
+  hdr.ack = 42;
 
   std::vector<std::byte> pkt;
   append_header(pkt, hdr);
   EXPECT_EQ(pkt.size(), sizeof(WireHeader));
 
   std::size_t off = 0;
-  const WireHeader out = read_header(pkt, off);
+  WireHeader out;
+  ASSERT_EQ(read_header(pkt, off, out), Status::kOk);
   EXPECT_EQ(off, sizeof(WireHeader));
   EXPECT_EQ(out.kind, hdr.kind);
   EXPECT_EQ(out.tag, hdr.tag);
@@ -30,6 +34,8 @@ TEST(Wire, HeaderRoundTrip) {
   EXPECT_EQ(out.size, hdr.size);
   EXPECT_EQ(out.rdv, hdr.rdv);
   EXPECT_EQ(out.handle, hdr.handle);
+  EXPECT_EQ(out.psn, hdr.psn);
+  EXPECT_EQ(out.ack, hdr.ack);
 }
 
 TEST(Wire, HeaderPlusPayload) {
@@ -45,8 +51,10 @@ TEST(Wire, HeaderPlusPayload) {
   EXPECT_EQ(pkt.size(), sizeof(WireHeader) + 16);
 
   std::size_t off = 0;
-  const WireHeader out = read_header(pkt, off);
-  const auto view = read_payload(pkt, off, out.size);
+  WireHeader out;
+  ASSERT_EQ(read_header(pkt, off, out), Status::kOk);
+  std::span<const std::byte> view;
+  ASSERT_EQ(read_payload(pkt, off, out.size, view), Status::kOk);
   EXPECT_EQ(off, pkt.size());
   EXPECT_TRUE(std::equal(view.begin(), view.end(), payload.begin()));
 }
@@ -63,36 +71,97 @@ TEST(Wire, MultipleMessagesSequential) {
   }
   std::size_t off = 0;
   for (int m = 0; m < 5; ++m) {
-    const WireHeader hdr = read_header(pkt, off);
+    WireHeader hdr;
+    ASSERT_EQ(read_header(pkt, off, hdr), Status::kOk);
     EXPECT_EQ(hdr.seq, static_cast<Seq>(m));
-    const auto payload = read_payload(pkt, off, hdr.size);
+    std::span<const std::byte> payload;
+    ASSERT_EQ(read_payload(pkt, off, hdr.size, payload), Status::kOk);
     for (const std::byte b : payload) EXPECT_EQ(b, std::byte(m));
   }
   EXPECT_EQ(off, pkt.size());
 }
 
-TEST(Wire, TruncatedHeaderAborts) {
+TEST(Wire, TruncatedHeaderRejected) {
   std::vector<std::byte> pkt(sizeof(WireHeader) - 1);
   std::size_t off = 0;
-  EXPECT_DEATH((void)read_header(pkt, off), "truncated");
+  WireHeader out;
+  EXPECT_EQ(read_header(pkt, off, out), Status::kOutOfRange);
+  EXPECT_EQ(off, 0u);  // a failed read must not advance the cursor
 }
 
-TEST(Wire, TruncatedPayloadAborts) {
+TEST(Wire, TruncatedPayloadRejected) {
   std::vector<std::byte> pkt;
   WireHeader hdr;
   hdr.size = 100;
   append_header(pkt, hdr);
   append_payload(pkt, std::vector<std::byte>(50));
   std::size_t off = 0;
-  (void)read_header(pkt, off);
-  EXPECT_DEATH((void)read_payload(pkt, off, 100), "truncated");
+  WireHeader out;
+  ASSERT_EQ(read_header(pkt, off, out), Status::kOk);
+  const std::size_t after_header = off;
+  std::span<const std::byte> view;
+  EXPECT_EQ(read_payload(pkt, off, 100, view), Status::kOutOfRange);
+  EXPECT_EQ(off, after_header);
 }
 
-TEST(Wire, HeaderIsExactly32Bytes) {
+TEST(Wire, OffsetOverflowRejected) {
+  std::vector<std::byte> pkt(sizeof(WireHeader));
+  std::size_t off = pkt.size();  // cursor already at the end
+  WireHeader out;
+  EXPECT_EQ(read_header(pkt, off, out), Status::kOutOfRange);
+  std::span<const std::byte> view;
+  EXPECT_EQ(read_payload(pkt, off, 1, view), Status::kOutOfRange);
+}
+
+TEST(Wire, HeaderIsExactly48Bytes) {
   // The wire format is part of the ABI between simulated nodes; changing
   // the size silently would break packet parsing.
-  static_assert(sizeof(WireHeader) == 32);
+  static_assert(sizeof(WireHeader) == 48);
   SUCCEED();
+}
+
+TEST(Wire, ChecksumSealVerifyRoundTrip) {
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+  hdr.size = 64;
+  std::vector<std::byte> pkt;
+  append_header(pkt, hdr);
+  append_payload(pkt, std::vector<std::byte>(64, std::byte{0xa5}));
+  seal_packet(pkt);
+  EXPECT_EQ(verify_packet(pkt), Status::kOk);
+}
+
+TEST(Wire, ChecksumDetectsSingleBitFlip) {
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kEager);
+  hdr.size = 32;
+  std::vector<std::byte> base;
+  append_header(base, hdr);
+  append_payload(base, std::vector<std::byte>(32, std::byte{0x5a}));
+  seal_packet(base);
+  // Flip every bit in turn — header and payload alike — and expect the
+  // verifier to notice each one.
+  for (std::size_t bit = 0; bit < base.size() * 8; ++bit) {
+    std::vector<std::byte> pkt = base;
+    pkt[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_EQ(verify_packet(pkt), Status::kCorrupt) << "bit " << bit;
+  }
+}
+
+TEST(Wire, ChecksumOfTruncatedPacket) {
+  std::vector<std::byte> pkt(sizeof(WireHeader) - 1);
+  EXPECT_EQ(verify_packet(pkt), Status::kOutOfRange);
+}
+
+TEST(Wire, SealIsIdempotent) {
+  WireHeader hdr;
+  hdr.kind = static_cast<std::uint8_t>(PacketKind::kAck);
+  std::vector<std::byte> pkt;
+  append_header(pkt, hdr);
+  seal_packet(pkt);
+  const std::vector<std::byte> once = pkt;
+  seal_packet(pkt);  // checksum field reads as zero while hashing
+  EXPECT_EQ(pkt, once);
 }
 
 }  // namespace
