@@ -23,7 +23,8 @@ int main() {
   std::printf("Figure 6: rendezvous handshake progression "
               "(compute = 100 us, 2 nodes x 8 cores, rdv threshold 32K)\n");
   print_header("Sending time (us)",
-               {"size", "no-rdv-progress", "rdv-progress", "reference"});
+               {"size", "no-rdv-progress", "rdv-progress", "reference",
+                "base-crit", "prog-crit", "prog-bg"});
   for (const std::size_t size : sizes) {
     const Fig4Result ref = run_fig4(/*pioman=*/true, size, 0);
     const Fig4Result base = run_fig4(/*pioman=*/false, size, comp);
@@ -32,11 +33,16 @@ int main() {
     print_cell(base.send_us);
     print_cell(prog.send_us);
     print_cell(ref.send_us);
+    print_cell(base.crit_us);
+    print_cell(prog.crit_us);
+    print_cell(prog.offl_us);
     end_row();
   }
   std::printf(
       "\nExpected shape (paper): below 32K the eager path behaves like\n"
       "Fig. 5; above it, no-rdv-progress ~ reference + 100us while\n"
-      "rdv-progress ~ max(reference, 100us) — full overlap.\n");
+      "rdv-progress ~ max(reference, 100us) — full overlap.\n"
+      "base-crit/prog-crit: mean per-request critical-path us from the\n"
+      "flight recorder; background progression moves work into prog-bg.\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "pm2/attribution.hpp"
 #include "pm2/cluster.hpp"
 
 namespace pm2::bench {
@@ -15,14 +16,22 @@ namespace pm2::bench {
 struct Fig4Result {
   double send_us = 0;  // mean of sender's [isend; compute; swait]
   double recv_us = 0;  // mean of receiver's [irecv; compute; rwait]
+  // Flight-recorder attribution (see pm2/attribution.hpp): mean per-request
+  // microseconds serialized on the posting thread vs moved off it.
+  double crit_us = 0;
+  double offl_us = 0;
 };
 
 /// The benchmark of §4.1/§4.2 (Fig. 4): a symmetric ping-pong where each
 /// side runs `isend(len); compute(comp); swait()` and the mirrored receive.
 /// `pioman` selects the multithreaded engine vs the app-driven baseline.
+/// When `metrics_path` is non-empty, the run's metrics.json (registry +
+/// attribution) is written there.
 inline Fig4Result run_fig4(bool pioman, std::size_t size, SimDuration comp,
-                           int iters = 16, ClusterConfig cfg = {}) {
+                           int iters = 16, ClusterConfig cfg = {},
+                           const std::string& metrics_path = {}) {
   cfg.pioman = pioman;
+  cfg.flight = true;
   Cluster cluster(cfg);
   std::vector<std::byte> data0(size, std::byte{0xa5});
   std::vector<std::byte> data1(size, std::byte{0x5a});
@@ -58,7 +67,15 @@ inline Fig4Result run_fig4(bool pioman, std::size_t size, SimDuration comp,
     }
   });
   cluster.run();
-  return Fig4Result{send_t.mean(), recv_t.mean()};
+
+  std::vector<const nm::FlightRecorder*> recorders;
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    recorders.push_back(cluster.flight(n));
+  }
+  const Attribution attr = attribute_flights(recorders);
+  if (!metrics_path.empty()) cluster.write_metrics_json(metrics_path);
+  return Fig4Result{send_t.mean(), recv_t.mean(), attr.crit_us.mean(),
+                    attr.offl_us.mean()};
 }
 
 /// Fixed-width table printing.

@@ -1,0 +1,187 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pm2 {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent validator over a string_view cursor.
+class Validator {
+ public:
+  explicit Validator(std::string_view doc) : s_(doc) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // unescaped control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(
+                    s_[pos_ + static_cast<std::size_t>(i)])) == 0) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    } else {
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) return false;
+    skip_ws();
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view doc) { return Validator(doc).run(); }
+
+}  // namespace pm2

@@ -1,0 +1,167 @@
+#include "common/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+
+namespace pm2 {
+
+MetricsRegistry::Metric& MetricsRegistry::emplace(std::string_view name,
+                                                  Kind kind) {
+  PM2_ASSERT_MSG(!name.empty(), "metric name must not be empty");
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    PM2_ASSERT_MSG(it->second.kind == kind,
+                   "metric re-registered with a different kind");
+    return it->second;
+  }
+  auto [pos, inserted] = metrics_.emplace(std::string(name), Metric{});
+  pos->second.kind = kind;
+  return pos->second;
+}
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  return emplace(name, Kind::kCounter).counter;
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  return emplace(name, Kind::kGauge).gauge;
+}
+
+Log2Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Metric& m = emplace(name, Kind::kHistogram);
+  if (m.hist == nullptr) m.hist = std::make_unique<Log2Histogram>();
+  return *m.hist;
+}
+
+void MetricsRegistry::bind_counter(std::string_view name,
+                                   const std::uint64_t* source) {
+  PM2_ASSERT(source != nullptr);
+  Metric& m = emplace(name, Kind::kBoundCounter);
+  PM2_ASSERT_MSG(m.bound_counter == nullptr || m.bound_counter == source,
+                 "metric name already bound to a different counter");
+  m.bound_counter = source;
+}
+
+void MetricsRegistry::bind_gauge(std::string_view name,
+                                 std::function<double()> source) {
+  PM2_ASSERT(source != nullptr);
+  Metric& m = emplace(name, Kind::kBoundGauge);
+  PM2_ASSERT_MSG(m.bound_gauge == nullptr,
+                 "metric name already bound to a gauge");
+  m.bound_gauge = std::move(source);
+}
+
+bool MetricsRegistry::contains(std::string_view name) const noexcept {
+  return metrics_.find(name) != metrics_.end();
+}
+
+double MetricsRegistry::numeric(const Metric& m) noexcept {
+  switch (m.kind) {
+    case Kind::kCounter: return static_cast<double>(m.counter);
+    case Kind::kBoundCounter:
+      return static_cast<double>(*m.bound_counter);
+    case Kind::kGauge: return m.gauge;
+    case Kind::kBoundGauge: return m.bound_gauge();
+    case Kind::kHistogram: return 0;
+  }
+  return 0;
+}
+
+double MetricsRegistry::value(std::string_view name) const noexcept {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0 : numeric(it->second);
+}
+
+const Log2Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const noexcept {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.hist.get()
+             : nullptr;
+}
+
+void MetricsRegistry::visit(const std::function<void(const View&)>& fn) const {
+  for (const auto& [name, m] : metrics_) {
+    View v;
+    v.name = name;
+    v.kind = m.kind;
+    v.number = numeric(m);
+    v.hist = m.hist.get();
+    fn(v);
+  }
+}
+
+std::uint64_t MetricsRegistry::sum(std::string_view prefix,
+                                   std::string_view suffix) const noexcept {
+  std::uint64_t total = 0;
+  // std::map is name-ordered: jump to the prefix and stop past it.
+  for (auto it = metrics_.lower_bound(prefix); it != metrics_.end(); ++it) {
+    const std::string& name = it->first;
+    if (name.compare(0, prefix.size(), prefix) != 0) break;
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    total += static_cast<std::uint64_t>(numeric(it->second));
+  }
+  return total;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string counters, gauges, hists;
+  char buf[96];
+  for (const auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+      case Kind::kBoundCounter: {
+        if (!counters.empty()) counters += ",";
+        const std::uint64_t v =
+            m.kind == Kind::kCounter ? m.counter : *m.bound_counter;
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(v));
+        counters += "\"" + json_escape(name) + "\":" + buf;
+        break;
+      }
+      case Kind::kGauge:
+      case Kind::kBoundGauge: {
+        if (!gauges.empty()) gauges += ",";
+        const double v = m.kind == Kind::kGauge ? m.gauge : m.bound_gauge();
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        gauges += "\"" + json_escape(name) + "\":" + buf;
+        break;
+      }
+      case Kind::kHistogram: {
+        if (!hists.empty()) hists += ",";
+        hists += "\"" + json_escape(name) + "\":{";
+        std::snprintf(buf, sizeof buf,
+                      "\"total\":%llu,\"p50\":%.6g,\"p90\":%.6g,\"p99\":%.6g",
+                      static_cast<unsigned long long>(m.hist->total()),
+                      m.hist->percentile(50), m.hist->percentile(90),
+                      m.hist->percentile(99));
+        hists += buf;
+        hists += ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+          if (m.hist->bucket_count(i) == 0) continue;
+          if (!first) hists += ",";
+          first = false;
+          std::snprintf(
+              buf, sizeof buf, "[%llu,%llu,%llu]",
+              static_cast<unsigned long long>(Log2Histogram::bucket_lo(i)),
+              static_cast<unsigned long long>(Log2Histogram::bucket_hi(i)),
+              static_cast<unsigned long long>(m.hist->bucket_count(i)));
+          hists += buf;
+        }
+        hists += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + hists + "}}";
+}
+
+}  // namespace pm2

@@ -86,13 +86,40 @@ void Log2Histogram::add(std::uint64_t value) noexcept {
   ++total_;
 }
 
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
+double Log2Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Nearest-rank target, then linear interpolation within the bucket.
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  double seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (seen + in_bucket >= rank) {
+      const double lo = static_cast<double>(bucket_lo(i));
+      const double hi = static_cast<double>(bucket_hi(i));
+      const double frac =
+          in_bucket > 0 ? std::min(1.0, std::max(0.0, (rank - seen) / in_bucket))
+                        : 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(bucket_hi(kBuckets - 1));
+}
+
 std::string Log2Histogram::render() const {
   std::string out;
   char line[128];
   for (std::size_t i = 0; i < kBuckets; ++i) {
     if (buckets_[i] == 0) continue;
-    const std::uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
-    const std::uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+    const std::uint64_t lo = bucket_lo(i);
+    const std::uint64_t hi = bucket_hi(i);
     std::snprintf(line, sizeof line, "[%12llu, %12llu]: %llu\n",
                   static_cast<unsigned long long>(lo),
                   static_cast<unsigned long long>(hi),

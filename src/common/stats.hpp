@@ -59,13 +59,35 @@ class Samples {
 /// (latencies in ns).
 class Log2Histogram {
  public:
+  static constexpr std::size_t kBuckets = 64;
+
   void add(std::uint64_t value) noexcept;
+
+  /// Sum another histogram into this one (per-CPU → per-node aggregation
+  /// in the end-of-run report, without re-recording samples).
+  void merge(const Log2Histogram& other) noexcept;
+
+  /// Approximate p-th percentile (p in [0,100]): finds the bucket where
+  /// the cumulative count crosses the rank and interpolates linearly
+  /// inside it.  Error is bounded by the bucket width (one octave).
+  /// Returns 0 on an empty histogram.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return i < kBuckets ? buckets_[i] : 0;
+  }
+  /// Inclusive value range [lo, hi] covered by bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_lo(std::size_t i) noexcept {
+    return i == 0 ? 0 : 1ull << (i - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucket_hi(std::size_t i) noexcept {
+    return i == 0 ? 0 : i >= kBuckets ? ~0ull : (1ull << i) - 1;
+  }
   /// Render as "bucket-range: count" lines.
   [[nodiscard]] std::string render() const;
 
  private:
-  static constexpr std::size_t kBuckets = 64;
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t total_ = 0;
 };

@@ -16,6 +16,7 @@ void Cond::signal() {
 void Cond::wait() {
   marcel::Thread* self = marcel::this_thread::self();
   PM2_ASSERT_MSG(self != nullptr, "Cond::wait outside a marcel thread");
+  ++server_->stats_.cond_waits;
   // Posted-but-not-offloaded work is on our critical path now: run it here
   // ("the message is sent inside the wait function", §3.1).
   server_->flush_posted();
@@ -31,6 +32,7 @@ void Cond::wait() {
     if (cpu.runnable() > 0) {
       // Other threads want this core: wait passively, progression is
       // covered by idle cores, the LWP, or the other threads' own waits.
+      ++server_->stats_.cond_passive_blocks;
       waiters_.push_back(*self);
       cpu.block_current();
       continue;
@@ -48,6 +50,7 @@ Status Cond::wait_for(SimDuration timeout) {
   PM2_ASSERT_MSG(self != nullptr, "Cond::wait_for outside a marcel thread");
   sim::Engine& engine = server_->node().engine();
   const SimTime deadline = engine.now() + timeout;
+  ++server_->stats_.cond_waits;
   server_->flush_posted();
   while (!done_) {
     if (engine.now() >= deadline) return Status::kTimedOut;
@@ -60,6 +63,7 @@ Status Cond::wait_for(SimDuration timeout) {
     if (cpu.runnable() > 0) {
       // Passive timed wait: a deadline event yanks us out of the waiter
       // list if the signal has not arrived by then.
+      ++server_->stats_.cond_passive_blocks;
       waiters_.push_back(*self);
       marcel::Node& node = self->node();
       const sim::EventId timer =

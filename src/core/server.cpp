@@ -1,9 +1,11 @@
 #include "core/server.hpp"
 
+#include <string>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "marcel/cpu.hpp"
 
 namespace pm2::piom {
@@ -235,6 +237,23 @@ void Server::on_interrupt() {
 }
 
 void Server::notify_work() { node_.kick_idle_cpus(); }
+
+void Server::bind_metrics(MetricsRegistry& registry,
+                          std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/poll/rounds", &stats_.poll_rounds);
+  registry.bind_counter(p + "/offload/posted", &stats_.posted_items);
+  registry.bind_counter(p + "/offload/offloaded", &stats_.posted_offloaded);
+  registry.bind_counter(p + "/offload/flushed", &stats_.posted_flushed);
+  registry.bind_counter(p + "/interrupts", &stats_.interrupts);
+  registry.bind_counter(p + "/method_switches", &stats_.method_switches);
+  registry.bind_counter(p + "/cond/waits", &stats_.cond_waits);
+  registry.bind_counter(p + "/cond/passive_blocks",
+                        &stats_.cond_passive_blocks);
+  registry.bind_gauge(p + "/method_blocking", [this] {
+    return method_ == Method::kBlocking ? 1.0 : 0.0;
+  });
+}
 
 void Server::shutdown() {
   shutdown_ = true;

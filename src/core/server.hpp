@@ -19,12 +19,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "common/simtime.hpp"
 #include "core/config.hpp"
 #include "marcel/node.hpp"
 #include "marcel/tasklet.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::piom {
 
@@ -131,8 +136,14 @@ class Server {
     std::uint64_t posted_flushed = 0;    // executed inside a wait
     std::uint64_t interrupts = 0;
     std::uint64_t method_switches = 0;
+    std::uint64_t cond_waits = 0;           // piom::Cond::wait[_for] entries
+    std::uint64_t cond_passive_blocks = 0;  // waits that yielded the core
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/piom"), plus a computed "<prefix>/method_blocking" gauge.
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
  private:
   friend class Cond;

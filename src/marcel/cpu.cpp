@@ -1,9 +1,11 @@
 #include "marcel/cpu.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "marcel/node.hpp"
 #include "marcel/runtime.hpp"
 
@@ -376,6 +378,17 @@ void Cpu::run_one_tasklet(Tasklet& t) {
     t.resched_target_ = nullptr;
     t.schedule_on(*target);
   }
+}
+
+void Cpu::bind_metrics(MetricsRegistry& registry,
+                       std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/thread_busy_ns", &stats_.thread_busy_ns);
+  registry.bind_counter(p + "/service_busy_ns", &stats_.service_busy_ns);
+  registry.bind_counter(p + "/tasklets_run", &stats_.tasklets_run);
+  registry.bind_counter(p + "/ctx_switches", &stats_.ctx_switches);
+  registry.bind_counter(p + "/steals", &stats_.steals);
+  registry.bind_counter(p + "/dispatches", &stats_.dispatches);
 }
 
 }  // namespace pm2::marcel

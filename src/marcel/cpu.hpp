@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/intrusive_list.hpp"
 #include "common/simtime.hpp"
@@ -12,6 +13,10 @@
 #include "marcel/thread.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::marcel {
 
@@ -120,6 +125,10 @@ class Cpu {
     }
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/cpu3").  SimDuration fields export as nanosecond counters.
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
  private:
   friend class Node;

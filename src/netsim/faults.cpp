@@ -1,7 +1,9 @@
 #include "netsim/faults.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "common/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace pm2::net {
@@ -63,6 +65,16 @@ FaultAction FaultInjector::decide(unsigned src, unsigned dst,
   }
   if (act.extra_copies > 0 || act.extra_delay > 0 || act.corrupt) emit(now);
   return act;
+}
+
+void FaultInjector::bind_metrics(MetricsRegistry& registry,
+                                 std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/considered", &stats_.considered);
+  registry.bind_counter(p + "/dropped", &stats_.dropped);
+  registry.bind_counter(p + "/duplicated", &stats_.duplicated);
+  registry.bind_counter(p + "/reordered", &stats_.reordered);
+  registry.bind_counter(p + "/corrupted", &stats_.corrupted);
 }
 
 void FaultInjector::emit(SimTime now) const {

@@ -20,11 +20,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/simtime.hpp"
 #include "sim/rng.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::sim {
 class Tracer;
@@ -108,6 +113,10 @@ class FaultInjector {
     std::uint64_t corrupted = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "fabric/faults").
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
   /// Mirror the counters onto a Chrome-trace counter track ("fabric/faults").
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }

@@ -1,9 +1,11 @@
 #include "netsim/nic.hpp"
 
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/metrics.hpp"
 #include "marcel/cpu.hpp"
 #include "netsim/fabric.hpp"
 
@@ -107,6 +109,18 @@ void Nic::deliver(RxEvent event) {
     interrupt_();
   }
   if (rx_notify_ != nullptr) rx_notify_();
+}
+
+void Nic::bind_metrics(MetricsRegistry& registry,
+                       std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/packets_tx", &stats_.packets_tx);
+  registry.bind_counter(p + "/packets_rx", &stats_.packets_rx);
+  registry.bind_counter(p + "/bytes_tx", &stats_.bytes_tx);
+  registry.bind_counter(p + "/bytes_rx", &stats_.bytes_rx);
+  registry.bind_counter(p + "/rdma_puts", &stats_.rdma_puts);
+  registry.bind_counter(p + "/rdma_bytes", &stats_.rdma_bytes);
+  registry.bind_counter(p + "/interrupts_fired", &stats_.interrupts_fired);
 }
 
 }  // namespace pm2::net

@@ -17,10 +17,15 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/simtime.hpp"
 #include "netsim/costmodel.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::net {
 
@@ -114,6 +119,10 @@ class Nic {
     std::uint64_t interrupts_fired = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/nic0").
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
  private:
   friend class Fabric;

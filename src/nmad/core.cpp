@@ -1,14 +1,45 @@
 #include "nmad/core.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/runtime.hpp"
 #include "nmad/reliable.hpp"
+#include "sim/trace.hpp"
 
 namespace pm2::nm {
+namespace {
+
+/// Identity of one message crossing the wire, shared by the sender's
+/// injection span and the receiver's delivery span (FNV-1a so distinct
+/// messages practically never collide).
+std::uint64_t wire_flow_id(unsigned src, unsigned dst, Tag tag,
+                           Seq seq) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(src);
+  mix(dst);
+  mix(tag);
+  mix(seq);
+  return h;
+}
+
+/// Identity of one offloaded submission (isend → tasklet pickup).
+std::uint64_t offload_flow_id(const FlightRecord& f) noexcept {
+  return (static_cast<std::uint64_t>(f.node) << 48) | f.id;
+}
+
+}  // namespace
 
 Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
            Config cfg)
@@ -83,6 +114,7 @@ Request* Core::acquire() {
   req->parts_left = 0;
   req->critical = false;
   req->done = false;
+  req->flight_on = false;
   if (server_ != nullptr) {
     if (req->cond.has_value()) {
       req->cond->reset();
@@ -96,12 +128,20 @@ Request* Core::acquire() {
 void Core::release(Request* req) {
   PM2_ASSERT(req != nullptr && req->done);
   PM2_ASSERT_MSG(!req->hook.is_linked(), "releasing a queued request");
+  if (req->flight_on && flight_ != nullptr) {
+    if (req->op == Request::Op::kRecv) {
+      req->flight.bytes = static_cast<std::uint32_t>(req->received_len);
+    }
+    flight_->commit(req->flight);
+  }
+  req->flight_on = false;
   req->state = Request::State::kFree;
   freelist_.push_back(req);
 }
 
 void Core::complete(Request& req) {
   PM2_ASSERT(!req.done);
+  flight_stamp(req, Stage::kCompleted);
   req.state = Request::State::kCompleted;
   req.done = true;
   const double latency = to_us(fabric_.engine().now() - req.issued_at);
@@ -120,6 +160,7 @@ void Core::complete(Request& req) {
 
 Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
   PM2_ASSERT(dst < fabric_.nodes());
+  const SimTime t0 = fabric_.engine().now();
   charge(cfg_.post_cost);
   Request* req = acquire();
   req->op = Request::Op::kSend;
@@ -129,9 +170,11 @@ Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
   req->send_data = data;
   req->state = Request::State::kQueued;
   req->issued_at = fabric_.engine().now();
+  flight_init(*req, static_cast<std::uint32_t>(data.size()), t0);
   ++stats_.sends;
 
   Gate& gate = gates_[dst];
+  bool offload_posted = false;
   if (server_ != nullptr && data.size() > cfg_.rdv_threshold) {
     // Rendezvous: the RTS is a header-only packet, cheap to submit, and
     // the handshake needs reactivity (§3.2 "it submits the corresponding
@@ -141,30 +184,38 @@ Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
     const unsigned rail = gate.rr_rail;
     gate.rr_rail = (gate.rr_rail + 1) % rails();
     inject_rts(gate, rail, *req);
-    return req;
-  }
-  gate.sendq.push_back(*req);
-  if (server_ != nullptr) {
-    server_->arm();
-    if (data.size() < cfg_.offload_min_bytes) {
-      // Adaptive strategy (§5 future work): for tiny messages the inline
-      // injection is cheaper than the offload machinery.
-      flush_gate(gate);
-      return req;
-    }
-    // §2.2: register the request, raise an event; the submission (the
-    // expensive copy) happens on whichever core PIOMan picks.
-    server_->post([this, &gate] { flush_gate(gate); });
   } else {
-    // Classical engine: the communicating thread submits right here, which
-    // is why "even a non-blocking send may take several dozens of µs".
-    flush_gate(gate);
+    gate.sendq.push_back(*req);
+    flight_stamp(*req, Stage::kEnqueued);
+    if (server_ != nullptr) {
+      server_->arm();
+      if (data.size() < cfg_.offload_min_bytes) {
+        // Adaptive strategy (§5 future work): for tiny messages the inline
+        // injection is cheaper than the offload machinery.
+        flush_gate(gate);
+      } else {
+        // §2.2: register the request, raise an event; the submission (the
+        // expensive copy) happens on whichever core PIOMan picks.
+        flight_stamp(*req, Stage::kOffloadPosted);
+        offload_posted = true;
+        server_->post([this, &gate] { flush_gate(gate); });
+      }
+    } else {
+      // Classical engine: the communicating thread submits right here, which
+      // is why "even a non-blocking send may take several dozens of µs".
+      flush_gate(gate);
+    }
+  }
+  const SimTime mid = trace_span("nm:isend", t0);
+  if (offload_posted && req->flight_on) {
+    trace_flow("offload", mid, offload_flow_id(req->flight), /*begin=*/true);
   }
   return req;
 }
 
 Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   PM2_ASSERT(src < fabric_.nodes());
+  const SimTime t0 = fabric_.engine().now();
   charge(cfg_.post_cost);
   Request* req = acquire();
   req->op = Request::Op::kRecv;
@@ -174,6 +225,7 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   req->recv_buf = buffer;
   req->state = Request::State::kPosted;
   req->issued_at = fabric_.engine().now();
+  flight_init(*req, static_cast<std::uint32_t>(buffer.size()), t0);
   ++stats_.recvs;
   if (server_ != nullptr) {
     server_->arm();
@@ -192,27 +244,37 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
     const auto& payload = it->second.payload;
     PM2_ASSERT_MSG(payload.size() <= buffer.size(),
                    "receive buffer too small");
+    if (req->flight_on) {
+      req->flight.stamp(Stage::kWireRx, it->second.arrived_at);
+      req->flight.stamp(Stage::kMatched, fabric_.engine().now());
+    }
+    flight_exec(*req);  // the posting thread does the second copy itself
     charge_copy(payload.size());
     std::memcpy(buffer.data(), payload.data(), payload.size());
     req->received_len = payload.size();
     unexpected_.erase(it);
     complete(*req);
+    trace_span("nm:irecv", t0);
     return req;
   }
   if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
     const UnexpectedRts rts = it->second;
     unexpected_rts_.erase(it);
-    start_rdv_recv(*req, src, rts.rdv, rts.size);
+    start_rdv_recv(*req, src, rts.rdv, rts.size, rts.arrived_at);
+    trace_span("nm:irecv", t0);
     return req;
   }
   posted_recvs_[key] = req;
+  trace_span("nm:irecv", t0);
   return req;
 }
 
 void Core::wait(Request* req) {
   PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  flight_stamp(*req, Stage::kWaitEnter);
   if (server_ != nullptr) {
     req->cond->wait();
+    flight_stamp(*req, Stage::kWoken);
   } else {
     // App-driven progression: this thread does all the work.
     while (!req->done) {
@@ -222,6 +284,7 @@ void Core::wait(Request* req) {
         marcel::this_thread::compute(cfg_.app_poll_gap);
       }
     }
+    flight_stamp(*req, Stage::kWoken);
   }
   release(req);
 }
@@ -246,9 +309,13 @@ bool Core::test(Request* req) {
 
 Status Core::wait_for(Request* req, SimDuration timeout) {
   PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  flight_stamp(*req, Stage::kWaitEnter);
   if (server_ != nullptr) {
     const Status st = req->cond->wait_for(timeout);
-    if (st == Status::kOk) release(req);
+    if (st == Status::kOk) {
+      flight_stamp(*req, Stage::kWoken);
+      release(req);
+    }
     return st;
   }
   const SimTime deadline = fabric_.engine().now() + timeout;
@@ -260,6 +327,7 @@ Status Core::wait_for(Request* req, SimDuration timeout) {
       marcel::this_thread::compute(cfg_.app_poll_gap);
     }
   }
+  flight_stamp(*req, Stage::kWoken);
   release(req);
   return Status::kOk;
 }
@@ -295,6 +363,11 @@ void Core::flush_gate(Gate& gate) {
 void Core::inject_eager_batch(Gate& gate, unsigned rail,
                               std::span<Request* const> reqs) {
   PM2_ASSERT(!reqs.empty());
+  const SimTime t0 = fabric_.engine().now();
+  for (Request* r : reqs) {
+    flight_stamp(*r, Stage::kPickup);
+    flight_exec(*r);
+  }
   std::vector<std::byte> pkt;
   if (reqs.size() == 1) {
     Request& r = *reqs[0];
@@ -325,12 +398,31 @@ void Core::inject_eager_batch(Gate& gate, unsigned rail,
   ++stats_.wire_packets;
   stats_.eager_sends += reqs.size();
   send_packet(gate.peer, rail, std::move(pkt));
+  for (Request* r : reqs) flight_stamp(*r, Stage::kInjected);
+  const SimTime mid = trace_span("nm:inject", t0);
+  if (mid != 0) {
+    for (Request* r : reqs) {
+      if (!r->flight_on) continue;
+      // Close the offload arrow from the isend that posted this work, and
+      // open the wire arrow towards the receiver's delivery span.
+      if (r->flight.at(Stage::kOffloadPosted) != 0) {
+        trace_flow("offload", mid, offload_flow_id(r->flight),
+                   /*begin=*/false);
+      }
+      trace_flow("wire", mid, wire_flow_id(node_id(), gate.peer, r->tag,
+                                           r->seq),
+                 /*begin=*/true);
+    }
+  }
   // Buffered-send semantics: the payload now lives in registered memory /
   // on the wire, so the requests complete.
   for (Request* r : reqs) complete(*r);
 }
 
 void Core::inject_rts(Gate& gate, unsigned rail, Request& req) {
+  const SimTime t0 = fabric_.engine().now();
+  if (req.flight_on) req.flight.rdv = true;
+  flight_stamp(req, Stage::kEnqueued);
   req.state = Request::State::kRdvHandshake;
   req.rdv_id = next_rdv_++;
   rdv_sends_[req.rdv_id] = &req;
@@ -351,6 +443,7 @@ void Core::inject_rts(Gate& gate, unsigned rail, Request& req) {
   ++stats_.rdv_sends;
   ++stats_.wire_packets;
   send_packet(gate.peer, rail, std::move(pkt));
+  trace_span("nm:rts", t0);
 }
 
 void Core::send_packet(unsigned dst, unsigned rail,
@@ -436,6 +529,7 @@ void Core::deliver_packet(unsigned src, std::span<const std::byte> pkt) {
 
 void Core::handle_eager(unsigned src, const WireHeader& hdr,
                         std::span<const std::byte> payload) {
+  const SimTime t0 = fabric_.engine().now();
   // Charge the (single) copy cost *before* consulting the match table:
   // charging consumes virtual CPU time, i.e. it is a suspension point, and
   // the application may post the matching irecv while we are suspended.
@@ -448,6 +542,11 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
     posted_recvs_.erase(it);
     PM2_ASSERT_MSG(payload.size() <= req->recv_buf.size(),
                    "receive buffer too small");
+    if (req->flight_on) {
+      req->flight.stamp(Stage::kWireRx, t0);
+      req->flight.stamp(Stage::kMatched, fabric_.engine().now());
+    }
+    flight_exec(*req);
     // Expected message: single copy, NIC buffer → application buffer,
     // done by whoever is processing (an idle core, with PIOMan).
     if (!payload.empty()) {
@@ -459,27 +558,38 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
   } else {
     // Unexpected: park a copy in the dedicated unexpected-message buffer.
     unexpected_.emplace(
-        key, UnexpectedEager{{payload.begin(), payload.end()}});
+        key, UnexpectedEager{{payload.begin(), payload.end()}, t0});
     ++stats_.unexpected_eager;
   }
+  const SimTime mid = trace_span("nm:deliver", t0);
+  trace_flow("wire", mid, wire_flow_id(src, node_id(), hdr.tag, hdr.seq),
+             /*begin=*/false);
 }
 
 void Core::handle_rts(unsigned src, const WireHeader& hdr) {
+  const SimTime now = fabric_.engine().now();
   const MatchKey key{src, hdr.tag, hdr.seq};
   if (auto it = posted_recvs_.find(key); it != posted_recvs_.end()) {
     Request* req = it->second;
     posted_recvs_.erase(it);
-    start_rdv_recv(*req, src, hdr.rdv, hdr.size);
+    start_rdv_recv(*req, src, hdr.rdv, hdr.size, now);
   } else {
-    unexpected_rts_.emplace(key, UnexpectedRts{hdr.rdv, hdr.size});
+    unexpected_rts_.emplace(key, UnexpectedRts{hdr.rdv, hdr.size, now});
     ++stats_.unexpected_rts;
   }
 }
 
 void Core::start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
-                          std::uint32_t size) {
+                          std::uint32_t size, SimTime wire_rx) {
   PM2_ASSERT_MSG(size <= req.recv_buf.size(),
                  "receive buffer too small for rendezvous message");
+  const SimTime t0 = fabric_.engine().now();
+  if (req.flight_on) {
+    req.flight.rdv = true;
+    req.flight.stamp(Stage::kWireRx, wire_rx != 0 ? wire_rx : t0);
+    req.flight.stamp(Stage::kMatched, t0);
+  }
+  flight_exec(req);
   req.state = Request::State::kDataInFlight;
   req.received_len = 0;
   req.rdv_expected = size;
@@ -505,6 +615,7 @@ void Core::start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
   append_header(pkt, cts);
   ++stats_.wire_packets;
   send_packet(src, 0, std::move(pkt));
+  trace_span("nm:rdv-match", t0);
 }
 
 void Core::handle_cts(const WireHeader& hdr) {
@@ -517,11 +628,15 @@ void Core::handle_cts(const WireHeader& hdr) {
   }
   Request& req = *it->second;
   rdv_sends_.erase(it);
+  flight_stamp(req, Stage::kMatched);  // handshake answered
   req.rdma_handle = hdr.handle;
   send_rdv_data(req);
 }
 
 void Core::send_rdv_data(Request& req) {
+  const SimTime t0 = fabric_.engine().now();
+  flight_stamp(req, Stage::kPickup);
+  flight_exec(req);
   req.state = Request::State::kDataInFlight;
   const auto plan = strategy_->plan_rdv(*this, req.send_data.size());
   PM2_ASSERT(!plan.empty());
@@ -536,9 +651,14 @@ void Core::send_rdv_data(Request& req) {
             },
             stripe.offset);
   }
+  flight_stamp(req, Stage::kInjected);
+  const SimTime mid = trace_span("nm:rdv-data", t0);
+  trace_flow("wire", mid, wire_flow_id(node_id(), req.peer, req.tag, req.seq),
+             /*begin=*/true);
 }
 
 void Core::handle_rdma_done(const net::RxEvent& ev) {
+  const SimTime t0 = fabric_.engine().now();
   const auto it = rdma_recvs_.find(ev.rdma);
   PM2_ASSERT_MSG(it != rdma_recvs_.end(),
                  "RDMA completion for an unknown receive");
@@ -548,6 +668,10 @@ void Core::handle_rdma_done(const net::RxEvent& ev) {
   if (req.received_len == req.rdv_expected) {
     rdma_recvs_.erase(it);
     fabric_.nic(node_id(), 0).unregister_buffer(req.rdma_handle);
+    const SimTime mid = trace_span("nm:rdma-done", t0);
+    trace_flow("wire", mid,
+               wire_flow_id(req.peer, node_id(), req.tag, req.seq),
+               /*begin=*/false);
     complete(req);
   }
 }
@@ -563,6 +687,91 @@ void Core::charge(SimDuration d) {
 void Core::charge_copy(std::size_t bytes) {
   charge(static_cast<SimDuration>(cfg_.copy_ns_per_byte *
                                   static_cast<double>(bytes)));
+}
+
+// ------------------------------------------- flight recorder / tracing
+
+void Core::flight_init(Request& req, std::uint32_t bytes,
+                       SimTime posted_at) {
+  if (flight_ == nullptr) {
+    req.flight_on = false;
+    return;
+  }
+  req.flight = FlightRecord{};
+  req.flight_on = true;
+  FlightRecord& f = req.flight;
+  f.id = flight_->next_id();
+  f.op = static_cast<std::uint8_t>(req.op);
+  f.node = node_id();
+  f.peer = req.peer;
+  f.tag = req.tag;
+  f.seq = req.seq;
+  f.bytes = bytes;
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  f.post_cpu = cpu != nullptr ? static_cast<int>(cpu->index()) : -1;
+  f.post_self = marcel::this_thread::self();
+  f.stamp(Stage::kPosted, posted_at);
+}
+
+void Core::flight_stamp(Request& req, Stage s) {
+  if (req.flight_on) req.flight.stamp(s, fabric_.engine().now());
+}
+
+void Core::flight_exec(Request& req) {
+  if (!req.flight_on) return;
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  req.flight.exec_cpu = cpu != nullptr ? static_cast<int>(cpu->index()) : -1;
+  // A different executing identity — another thread, or a service fiber
+  // (nullptr) — means the work left the posting thread's critical path.
+  const void* exec_self = marcel::this_thread::self();
+  req.flight.offloaded = exec_self != req.flight.post_self;
+}
+
+SimTime Core::trace_span(const char* name, SimTime start) {
+  sim::Tracer* tracer = node_.runtime().tracer();
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  if (tracer == nullptr || cpu == nullptr) return 0;
+  const SimTime now = fabric_.engine().now();
+  // Zero-cost protocol steps still get a 1 ns sliver so the span exists
+  // for flow arrows to bind to.
+  const SimTime end = now > start ? now : start + 1;
+  char track[32];
+  std::snprintf(track, sizeof track, "node%u/cpu%u", node_.index(),
+                cpu->index());
+  tracer->span(track, name, start, end, "nm");
+  return start + (end - start) / 2;
+}
+
+void Core::trace_flow(const char* name, SimTime at, std::uint64_t id,
+                      bool begin) {
+  sim::Tracer* tracer = node_.runtime().tracer();
+  marcel::Cpu* cpu = marcel::detail::current_cpu();
+  if (tracer == nullptr || cpu == nullptr || at == 0) return;
+  char track[32];
+  std::snprintf(track, sizeof track, "node%u/cpu%u", node_.index(),
+                cpu->index());
+  if (begin) {
+    tracer->flow_begin(track, name, at, id);
+  } else {
+    tracer->flow_end(track, name, at, id);
+  }
+}
+
+void Core::bind_metrics(MetricsRegistry& registry,
+                        std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/sends", &stats_.sends);
+  registry.bind_counter(p + "/recvs", &stats_.recvs);
+  registry.bind_counter(p + "/eager_sends", &stats_.eager_sends);
+  registry.bind_counter(p + "/rdv_sends", &stats_.rdv_sends);
+  registry.bind_counter(p + "/expected_eager", &stats_.expected_eager);
+  registry.bind_counter(p + "/unexpected_eager", &stats_.unexpected_eager);
+  registry.bind_counter(p + "/unexpected_rts", &stats_.unexpected_rts);
+  registry.bind_counter(p + "/wire_packets", &stats_.wire_packets);
+  registry.bind_counter(p + "/aggregated_msgs", &stats_.aggregated_msgs);
+  registry.bind_counter(p + "/dropped_malformed", &stats_.dropped_malformed);
+  registry.bind_counter(p + "/pack_msgs", &stats_.pack_msgs);
+  registry.bind_counter(p + "/pack_segments", &stats_.pack_segments);
 }
 
 }  // namespace pm2::nm

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -23,9 +24,14 @@
 #include "marcel/node.hpp"
 #include "netsim/fabric.hpp"
 #include "nmad/config.hpp"
+#include "nmad/flight.hpp"
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
 #include "nmad/wire.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::nm {
 
@@ -115,12 +121,39 @@ class Core {
     std::uint64_t wire_packets = 0;
     std::uint64_t aggregated_msgs = 0;  // messages that shared a packet
     std::uint64_t dropped_malformed = 0;  // truncated/garbled, dropped
+    std::uint64_t pack_msgs = 0;      // Madeleine pack/unpack messages
+    std::uint64_t pack_segments = 0;  // segments gathered/scattered
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// Post-to-completion latency samples (µs), by operation kind.
   [[nodiscard]] Samples& send_latency_us() noexcept { return send_lat_; }
   [[nodiscard]] Samples& recv_latency_us() noexcept { return recv_lat_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/nm").  The registry reads through the bound pointers at export
+  /// time; nothing changes on the hot path.
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
+
+  /// Attach a flight recorder: every request acquired from now on carries
+  /// stage timestamps and is committed to the ring on release.  nullptr
+  /// turns recording off (the per-request cost drops to one branch).
+  void set_flight_recorder(FlightRecorder* recorder) noexcept {
+    flight_ = recorder;
+  }
+  [[nodiscard]] FlightRecorder* flight_recorder() noexcept { return flight_; }
+
+  /// Reliability-sublayer hook: a sequenced packet for (peer, tag, seq)
+  /// went out again; charge the retransmit to the matching flight record.
+  void note_retransmit(unsigned peer, Tag tag, Seq seq) noexcept {
+    if (flight_ != nullptr) flight_->note_retransmit(peer, tag, seq);
+  }
+
+  /// Madeleine-layer hook: one pack/unpack message of `segments` pieces.
+  void note_pack(std::size_t segments) noexcept {
+    ++stats_.pack_msgs;
+    stats_.pack_segments += segments;
+  }
 
   // ---------------- strategy-facing helpers ----------------
 
@@ -142,10 +175,12 @@ class Core {
 
   struct UnexpectedEager {
     std::vector<std::byte> payload;
+    SimTime arrived_at = 0;  // wire-rx stamp for the eventual irecv
   };
   struct UnexpectedRts {
     std::uint64_t rdv = 0;
     std::uint32_t size = 0;
+    SimTime arrived_at = 0;
   };
 
   Request* acquire();
@@ -166,12 +201,25 @@ class Core {
   void handle_cts(const WireHeader& hdr);
   void handle_rdma_done(const net::RxEvent& ev);
   void start_rdv_recv(Request& req, unsigned src, std::uint64_t rdv,
-                      std::uint32_t size);
+                      std::uint32_t size, SimTime wire_rx = 0);
   void send_rdv_data(Request& req);
 
   /// Charge CPU time to the calling fiber's core.
   void charge(SimDuration d);
   void charge_copy(std::size_t bytes);
+
+  // ---- flight-recorder / tracer plumbing (all no-ops when disabled) ----
+
+  /// Start a flight record for a freshly posted request.
+  void flight_init(Request& req, std::uint32_t bytes, SimTime posted_at);
+  void flight_stamp(Request& req, Stage s);
+  /// Record who executes the (possibly offloaded) submission/delivery.
+  void flight_exec(Request& req);
+  /// Emit a protocol span [start, now] on the executing CPU's trace track;
+  /// returns the midpoint for flow-event anchoring (0 if not traced).
+  SimTime trace_span(const char* name, SimTime start);
+  /// Emit a flow arrow endpoint at `at` on the executing CPU's track.
+  void trace_flow(const char* name, SimTime at, std::uint64_t id, bool begin);
 
   marcel::Node& node_;
   net::Fabric& fabric_;
@@ -193,6 +241,7 @@ class Core {
 
   std::deque<std::unique_ptr<Request>> pool_;
   std::vector<Request*> freelist_;
+  FlightRecorder* flight_ = nullptr;
   Stats stats_;
   Samples send_lat_;
   Samples recv_lat_;

@@ -1,0 +1,75 @@
+#include "nmad/flight.hpp"
+
+#include "common/assert.hpp"
+
+namespace pm2::nm {
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kPosted: return "posted";
+    case Stage::kEnqueued: return "enqueued";
+    case Stage::kOffloadPosted: return "offload-posted";
+    case Stage::kPickup: return "pickup";
+    case Stage::kInjected: return "injected";
+    case Stage::kWireRx: return "wire-rx";
+    case Stage::kMatched: return "matched";
+    case Stage::kCompleted: return "completed";
+    case Stage::kWaitEnter: return "wait-enter";
+    case Stage::kWoken: return "woken";
+  }
+  return "?";
+}
+
+bool FlightRecord::ordered() const noexcept {
+  // Walk a chain of stages; only stages that were actually stamped
+  // participate, and each stamped stage must not precede the latest
+  // stamped stage before it.
+  const auto chain_ok = [this](std::initializer_list<Stage> chain) {
+    SimTime prev = 0;
+    for (const Stage s : chain) {
+      const SimTime ts = at(s);
+      if (ts == 0) continue;
+      if (ts < prev) return false;
+      prev = ts;
+    }
+    return true;
+  };
+  return chain_ok({Stage::kPosted, Stage::kEnqueued, Stage::kOffloadPosted,
+                   Stage::kPickup, Stage::kInjected, Stage::kCompleted}) &&
+         chain_ok({Stage::kWireRx, Stage::kMatched, Stage::kCompleted,
+                   Stage::kWoken}) &&
+         chain_ok({Stage::kPosted, Stage::kWaitEnter, Stage::kWoken});
+}
+
+FlightRecorder::FlightRecorder(unsigned node, std::size_t capacity)
+    : node_(node), ring_(capacity) {
+  PM2_ASSERT_MSG(capacity > 0, "flight ring needs at least one slot");
+}
+
+void FlightRecorder::commit(const FlightRecord& rec) {
+  ring_[total_ % ring_.size()] = rec;
+  ++total_;
+}
+
+void FlightRecorder::note_retransmit(unsigned peer, Tag tag,
+                                     Seq seq) noexcept {
+  // Newest-to-oldest: retransmits concern recent traffic.
+  const std::size_t n = size();
+  for (std::size_t back = 0; back < n; ++back) {
+    FlightRecord& rec =
+        ring_[(total_ - 1 - back) % ring_.size()];
+    if (rec.peer == peer && rec.tag == tag && rec.seq == seq) {
+      ++rec.retransmits;
+      return;
+    }
+  }
+}
+
+const FlightRecord& FlightRecorder::record(std::size_t i) const noexcept {
+  const std::size_t n = size();
+  PM2_ASSERT(i < n);
+  const std::size_t oldest = total_ - n;
+  return ring_[(oldest + i) % ring_.size()];
+}
+
+}  // namespace pm2::nm

@@ -24,6 +24,7 @@ void Pack::add(std::span<const std::byte> segment) {
 Request* Pack::send() {
   PM2_ASSERT_MSG(!sent_, "Pack sent twice");
   sent_ = true;
+  core_.note_pack(segments_);
   // Gather cost: one pass over the payload (the inserts above are host
   // work; the modelled copy is charged here, on the sending fiber).
   charge_copy(core_.config(), staging_.size());
@@ -36,6 +37,7 @@ void Unpack::add(std::span<std::byte> segment) {
 }
 
 void Unpack::recv_and_wait() {
+  core_.note_pack(segments_.size());
   std::vector<std::byte> staging(total_);
   Request* req = core_.irecv(src_, tag_, staging);
   // Observe the actual length before wait() recycles the request.

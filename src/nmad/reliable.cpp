@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "marcel/node.hpp"
 #include "marcel/runtime.hpp"
 #include "nmad/core.hpp"
@@ -139,6 +140,17 @@ void Reliability::retransmit_oldest(unsigned id, Peer& p, bool fast) {
   if (fast) ++stats_.fast_retransmits;
   // Refresh the piggybacked cumulative ACK before the copy goes out again.
   WireHeader hdr = peek_header(o.pkt);
+  // Charge the retransmit to the flight record of the request that sent
+  // this packet (only kinds that map back to one: eager data, RTS, CTS).
+  switch (static_cast<PacketKind>(hdr.kind)) {
+    case PacketKind::kEager:
+    case PacketKind::kRts:
+    case PacketKind::kCts:
+      core_.note_retransmit(id, hdr.tag, hdr.seq);
+      break;
+    default:
+      break;
+  }
   hdr.ack = p.recv_next;
   poke_header(o.pkt, hdr);
   seal_packet(o.pkt);
@@ -232,6 +244,21 @@ void Reliability::send_ack_now(unsigned id, Peer& p) {
   // Firmware path: ACK generation costs the host nothing and must work
   // from engine-context timers.
   core_.fabric().nic(core_.node_id(), 0).inject_raw(id, pkt);
+}
+
+void Reliability::bind_metrics(MetricsRegistry& registry,
+                               std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/data_tx", &stats_.data_tx);
+  registry.bind_counter(p + "/acks_tx", &stats_.acks_tx);
+  registry.bind_counter(p + "/acks_rx", &stats_.acks_rx);
+  registry.bind_counter(p + "/retransmits", &stats_.retransmits);
+  registry.bind_counter(p + "/fast_retransmits", &stats_.fast_retransmits);
+  registry.bind_counter(p + "/dup_drops", &stats_.dup_drops);
+  registry.bind_counter(p + "/ooo_buffered", &stats_.ooo_buffered);
+  registry.bind_counter(p + "/corrupt_drops", &stats_.corrupt_drops);
+  registry.bind_counter(p + "/truncated_drops", &stats_.truncated_drops);
+  registry.bind_counter(p + "/abandoned", &stats_.abandoned);
 }
 
 void Reliability::emit_counters() {

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "common/backoff.hpp"
@@ -38,6 +39,10 @@
 #include "nmad/config.hpp"
 #include "nmad/wire.hpp"
 #include "sim/engine.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::nm {
 
@@ -75,6 +80,10 @@ class Reliability {
     std::uint64_t abandoned = 0;         // gave up after max_retransmits
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/reliable").
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
   /// Sequenced packets not yet cumulatively ACKed, across all peers.
   [[nodiscard]] std::size_t unacked() const noexcept;

@@ -8,6 +8,7 @@
 
 #include "common/intrusive_list.hpp"
 #include "core/cond.hpp"
+#include "nmad/flight.hpp"
 #include "nmad/wire.hpp"
 
 namespace pm2::nm {
@@ -55,6 +56,12 @@ struct Request {
   /// Completion flag; in PIOMan mode `cond` additionally wakes waiters.
   bool done = false;
   std::optional<piom::Cond> cond;
+
+  /// Lifecycle stamps, committed to the node's FlightRecorder on release.
+  /// Lives by value here (not a ring-slot pointer) so a wrap of the ring
+  /// can never clobber a record still being written.
+  FlightRecord flight;
+  bool flight_on = false;
 
   ListHook hook;  // gate submission queue linkage
 

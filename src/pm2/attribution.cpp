@@ -1,0 +1,192 @@
+#include "pm2/attribution.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "common/metrics.hpp"
+#include "nmad/request.hpp"
+
+namespace pm2 {
+namespace {
+
+using nm::FlightRecord;
+using nm::Stage;
+
+[[nodiscard]] bool is_send(const FlightRecord& rec) noexcept {
+  return rec.op == static_cast<std::uint8_t>(nm::Request::Op::kSend);
+}
+
+/// Elapsed µs between two stamps; 0 when either is missing or reversed
+/// (reversal cannot happen when ordered() holds, but attribution must stay
+/// total even over malformed records).
+[[nodiscard]] double span_us(const FlightRecord& rec, Stage from,
+                             Stage to) noexcept {
+  const SimTime a = rec.at(from);
+  const SimTime b = rec.at(to);
+  if (a == 0 || b == 0 || b < a) return 0;
+  return to_us(b - a);
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void append_stat_json(std::string& out, const char* name,
+                      const RunningStats& s) {
+  appendf(out, "\"%s\":{\"count\":%llu,\"mean\":%.3f,\"min\":%.3f,"
+               "\"max\":%.3f}",
+          name, static_cast<unsigned long long>(s.count()), s.mean(), s.min(),
+          s.max());
+}
+
+}  // namespace
+
+FlightSplit split_flight(const FlightRecord& rec) {
+  FlightSplit s;
+  if (rec.at(Stage::kPosted) == 0 || rec.at(Stage::kCompleted) == 0) return s;
+  s.valid = true;
+  s.offloaded = rec.offloaded;
+  if (is_send(rec)) {
+    // Submission (post→enqueue) always runs on the posting thread.  The
+    // injection (pickup→injected) is the part PIOMan can move away.
+    const double submit = span_us(rec, Stage::kPosted, Stage::kEnqueued);
+    const double inject = span_us(rec, Stage::kPickup, Stage::kInjected);
+    s.crit_us = submit + (rec.offloaded ? 0 : inject);
+    s.offl_us = rec.offloaded ? inject : 0;
+  } else {
+    // Delivery (wire-rx→completed): matching, the payload copy (eager) or
+    // the CTS + zero-copy landing (rendezvous).
+    const double deliver = span_us(rec, Stage::kWireRx, Stage::kCompleted);
+    s.crit_us = rec.offloaded ? 0 : deliver;
+    s.offl_us = rec.offloaded ? deliver : 0;
+  }
+  s.wait_us = span_us(rec, Stage::kWaitEnter, Stage::kWoken);
+  return s;
+}
+
+Attribution attribute_flights(
+    const std::vector<const nm::FlightRecorder*>& recorders) {
+  Attribution a;
+
+  // (src, dst, tag, seq) → stamps the other side needs for wire time.
+  struct SendSide {
+    SimTime injected = 0;
+    bool rdv = false;
+  };
+  using Key = std::tuple<unsigned, unsigned, nm::Tag, nm::Seq>;
+  std::map<Key, SendSide> sends;
+  std::map<Key, SimTime> recv_rx;   // eager: wire-rx, rdv: completed
+
+  for (const nm::FlightRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    a.dropped += rec->dropped();
+    for (std::size_t i = 0; i < rec->size(); ++i) {
+      const FlightRecord& f = rec->record(i);
+      const FlightSplit split = split_flight(f);
+      if (!split.valid) continue;
+
+      if (is_send(f)) {
+        ++a.sends;
+        a.send_crit_us.add(split.crit_us);
+        sends[{f.node, f.peer, f.tag, f.seq}] = {f.at(Stage::kInjected),
+                                                 f.rdv};
+      } else {
+        ++a.recvs;
+        a.recv_crit_us.add(split.crit_us);
+        recv_rx[{f.peer, f.node, f.tag, f.seq}] =
+            f.rdv ? f.at(Stage::kCompleted) : f.at(Stage::kWireRx);
+      }
+      a.crit_us.add(split.crit_us);
+      a.offl_us.add(split.offl_us);
+      if (split.offloaded) ++a.offloaded;
+      if (f.retransmits > 0) ++a.retransmitted;
+      if (split.wait_us > 0) a.wait_us.add(split.wait_us);
+    }
+  }
+
+  for (const auto& [key, send] : sends) {
+    const auto it = recv_rx.find(key);
+    if (it == recv_rx.end()) continue;
+    if (send.injected == 0 || it->second == 0) continue;
+    ++a.pairs;
+    a.wire_us.add(it->second >= send.injected
+                      ? to_us(it->second - send.injected)
+                      : 0.0);
+  }
+  return a;
+}
+
+void export_attribution(MetricsRegistry& registry, const Attribution& a) {
+  registry.counter("attribution/sends") = a.sends;
+  registry.counter("attribution/recvs") = a.recvs;
+  registry.counter("attribution/pairs") = a.pairs;
+  registry.counter("attribution/offloaded") = a.offloaded;
+  registry.counter("attribution/retransmitted") = a.retransmitted;
+  registry.counter("attribution/dropped") = a.dropped;
+  registry.gauge("attribution/critical_path_us_mean") = a.crit_us.mean();
+  registry.gauge("attribution/offloaded_us_mean") = a.offl_us.mean();
+  registry.gauge("attribution/send_critical_us_mean") = a.send_crit_us.mean();
+  registry.gauge("attribution/recv_critical_us_mean") = a.recv_crit_us.mean();
+  registry.gauge("attribution/wire_us_mean") = a.wire_us.mean();
+  registry.gauge("attribution/wait_us_mean") = a.wait_us.mean();
+}
+
+std::string attribution_to_json(const Attribution& a) {
+  std::string out = "{";
+  appendf(out,
+          "\"sends\":%llu,\"recvs\":%llu,\"pairs\":%llu,\"offloaded\":%llu,"
+          "\"retransmitted\":%llu,\"dropped\":%llu,",
+          static_cast<unsigned long long>(a.sends),
+          static_cast<unsigned long long>(a.recvs),
+          static_cast<unsigned long long>(a.pairs),
+          static_cast<unsigned long long>(a.offloaded),
+          static_cast<unsigned long long>(a.retransmitted),
+          static_cast<unsigned long long>(a.dropped));
+  append_stat_json(out, "critical_path_us", a.crit_us);
+  out += ',';
+  append_stat_json(out, "offloaded_us", a.offl_us);
+  out += ',';
+  append_stat_json(out, "send_critical_us", a.send_crit_us);
+  out += ',';
+  append_stat_json(out, "recv_critical_us", a.recv_crit_us);
+  out += ',';
+  append_stat_json(out, "wire_us", a.wire_us);
+  out += ',';
+  append_stat_json(out, "wait_us", a.wait_us);
+  out += '}';
+  return out;
+}
+
+std::string format_attribution(const Attribution& a) {
+  std::string out;
+  appendf(out,
+          "attribution: %llu sends, %llu recvs (%llu paired, %llu offloaded, "
+          "%llu retransmitted, %llu dropped)\n",
+          static_cast<unsigned long long>(a.sends),
+          static_cast<unsigned long long>(a.recvs),
+          static_cast<unsigned long long>(a.pairs),
+          static_cast<unsigned long long>(a.offloaded),
+          static_cast<unsigned long long>(a.retransmitted),
+          static_cast<unsigned long long>(a.dropped));
+  appendf(out,
+          "  critical-path %.2f us mean (send %.2f, recv %.2f), "
+          "offloaded %.2f us mean\n",
+          a.crit_us.mean(), a.send_crit_us.mean(), a.recv_crit_us.mean(),
+          a.offl_us.mean());
+  appendf(out, "  wire %.2f us mean (%llu pairs), wait %.2f us mean\n",
+          a.wire_us.mean(), static_cast<unsigned long long>(a.wire_us.count()),
+          a.wait_us.mean());
+  return out;
+}
+
+}  // namespace pm2

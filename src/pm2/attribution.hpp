@@ -1,0 +1,78 @@
+// Critical-path latency attribution over committed FlightRecords.
+//
+// After a run, the per-node FlightRecorders hold one stamped record per
+// request (see nmad/flight.hpp).  This pass splits each request's latency
+// into the components the paper argues about:
+//
+//   * critical-path µs — time the *posting* thread could not overlap:
+//       send:  post→enqueue, plus the injection (pickup→injected) when it
+//              ran on the posting thread itself (no offload),
+//       recv:  wire-rx→completed when delivery ran on the posting thread.
+//   * offloaded µs    — the same injection/delivery work when PIOMan moved
+//                       it to another context (idle core tasklet, LWP).
+//   * wire µs         — injected(sender) → wire-rx(receiver) for eager
+//                       pairs; injected(sender) → completed(receiver) for
+//                       rendezvous (the RTS precedes the data put, so the
+//                       recv's wire-rx stamp is the handshake, not data).
+//   * wait µs         — wait-enter → woken.
+//
+// Send/recv pairs are joined across nodes on (src, dst, tag, seq) — the
+// whole cluster is one process, so the join is a plain map lookup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "nmad/flight.hpp"
+
+namespace pm2 {
+
+class MetricsRegistry;
+
+/// One record's split, in microseconds of virtual time.
+struct FlightSplit {
+  double crit_us = 0;  // serialized on the posting thread
+  double offl_us = 0;  // moved off the posting thread by PIOMan
+  double wait_us = 0;  // inside wait() (0 when the request was never waited)
+  bool offloaded = false;
+  bool valid = false;  // posted+completed stamps were present
+};
+
+/// Split a single committed record (wire time needs both sides; see
+/// attribute_flights for the cross-node join).
+[[nodiscard]] FlightSplit split_flight(const nm::FlightRecord& rec);
+
+/// Aggregates across every node's ring.
+struct Attribution {
+  RunningStats crit_us;       // per-request critical path (sends + recvs)
+  RunningStats offl_us;       // per-request offloaded time (all requests)
+  RunningStats send_crit_us;  // send-only view of the above
+  RunningStats recv_crit_us;
+  RunningStats wire_us;  // matched send/recv pairs only
+  RunningStats wait_us;  // requests that entered wait()
+
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t pairs = 0;          // cross-node joins that resolved
+  std::uint64_t offloaded = 0;      // records whose work ran elsewhere
+  std::uint64_t retransmitted = 0;  // records with ≥1 ARQ retransmit
+  std::uint64_t dropped = 0;        // records lost to ring wrap
+};
+
+/// Walk every recorder (null entries are skipped) and aggregate.
+[[nodiscard]] Attribution attribute_flights(
+    const std::vector<const nm::FlightRecorder*>& recorders);
+
+/// Mirror the aggregates into `registry` under "attribution/..." so the
+/// report and the JSON export read from one surface.
+void export_attribution(MetricsRegistry& registry, const Attribution& a);
+
+/// JSON object for the "attribution" section of metrics.json.
+[[nodiscard]] std::string attribution_to_json(const Attribution& a);
+
+/// Human-readable block appended to pm2::format_report.
+[[nodiscard]] std::string format_attribution(const Attribution& a);
+
+}  // namespace pm2

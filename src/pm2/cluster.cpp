@@ -1,14 +1,19 @@
 #include "pm2/cluster.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/json.hpp"
 #include "common/logging.hpp"
+#include "nmad/reliable.hpp"
+#include "pm2/attribution.hpp"
+#include "sim/trace.hpp"
 
 namespace pm2 {
 
-Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.marcel.nodes = cfg_.nodes;
   cfg_.marcel.cpus_per_node = cfg_.cpus_per_node;
   cfg_.nm.mode =
@@ -45,6 +50,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
     }
     fabric_->install_faults(cfg_.faults, seed);
   }
+  if (const char* path = std::getenv("PM2_METRICS"); path != nullptr) {
+    metrics_path_ = path;
+  }
   if (const char* path = std::getenv("PM2_TRACE"); path != nullptr) {
     env_tracer_ = std::make_unique<sim::Tracer>();
     trace_path_ = path;
@@ -53,10 +61,30 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
       fabric_->faults()->set_tracer(env_tracer_.get());
     }
   }
+  // A traced or metrics-exporting run always records flights: the trace
+  // flow arrows and the attribution section both need the stamps.
+  if (cfg_.flight || !metrics_path_.empty() || !trace_path_.empty()) {
+    PM2_ASSERT(cfg_.flight_capacity > 0);
+    flights_.reserve(cfg_.nodes);
+    for (unsigned i = 0; i < cfg_.nodes; ++i) {
+      flights_.push_back(
+          std::make_unique<nm::FlightRecorder>(i, cfg_.flight_capacity));
+      cores_[i]->set_flight_recorder(flights_[i].get());
+    }
+  }
+  bind_all_metrics();
 }
 
 Cluster::~Cluster() {
+  if (!metrics_path_.empty()) {
+    if (write_metrics_json(metrics_path_)) {
+      PM2_INFO("wrote metrics to %s", metrics_path_.c_str());
+    } else {
+      PM2_WARN("failed to write metrics to %s", metrics_path_.c_str());
+    }
+  }
   if (env_tracer_ != nullptr) {
+    sim::export_registry(*env_tracer_, metrics_, engine_.now());
     if (env_tracer_->write_json(trace_path_)) {
       PM2_INFO("wrote timeline trace to %s (%zu events)",
                trace_path_.c_str(), env_tracer_->event_count());
@@ -64,6 +92,60 @@ Cluster::~Cluster() {
       PM2_WARN("failed to write trace to %s", trace_path_.c_str());
     }
   }
+}
+
+void Cluster::bind_all_metrics() {
+  char prefix[64];
+  for (unsigned n = 0; n < cfg_.nodes; ++n) {
+    for (unsigned c = 0; c < runtime_->node(n).cpu_count(); ++c) {
+      std::snprintf(prefix, sizeof prefix, "node%u/cpu%u", n, c);
+      runtime_->node(n).cpu(c).bind_metrics(metrics_, prefix);
+    }
+    std::snprintf(prefix, sizeof prefix, "node%u/nm", n);
+    cores_[n]->bind_metrics(metrics_, prefix);
+    if (const nm::Reliability* rel = cores_[n]->reliability()) {
+      std::snprintf(prefix, sizeof prefix, "node%u/reliable", n);
+      rel->bind_metrics(metrics_, prefix);
+    }
+    if (n < servers_.size() && servers_[n] != nullptr) {
+      std::snprintf(prefix, sizeof prefix, "node%u/piom", n);
+      servers_[n]->bind_metrics(metrics_, prefix);
+    }
+    for (unsigned r = 0; r < fabric_->rails(); ++r) {
+      std::snprintf(prefix, sizeof prefix, "node%u/nic%u", n, r);
+      fabric_->nic(n, r).bind_metrics(metrics_, prefix);
+    }
+  }
+  if (fabric_->faults() != nullptr) {
+    fabric_->faults()->bind_metrics(metrics_, "fabric/faults");
+  }
+}
+
+bool Cluster::write_metrics_json(const std::string& path) {
+  std::vector<const nm::FlightRecorder*> recorders;
+  recorders.reserve(flights_.size());
+  for (const auto& f : flights_) recorders.push_back(f.get());
+  const Attribution attr = attribute_flights(recorders);
+  export_attribution(metrics_, attr);
+
+  std::string doc = "{\"schema\":\"pm2-metrics-v1\",";
+  char head[64];
+  std::snprintf(head, sizeof head, "\"sim_time_us\":%.3f,",
+                to_us(engine_.now()));
+  doc += head;
+  doc += "\"metrics\":";
+  doc += metrics_.to_json();
+  doc += ",\"attribution\":";
+  doc += attribution_to_json(attr);
+  doc += "}\n";
+  PM2_ASSERT_MSG(json_valid(doc), "metrics.json export must be valid JSON");
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (written != doc.size()) std::fclose(f);
+  return ok;
 }
 
 marcel::Thread& Cluster::run_on(unsigned i, std::function<void()> fn,

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/simtime.hpp"
 #include "core/server.hpp"
+#include "nmad/flight.hpp"
 #include "marcel/runtime.hpp"
 #include "netsim/fabric.hpp"
 #include "nmad/core.hpp"
@@ -45,6 +47,12 @@ struct ClusterConfig {
   /// plan installs nothing — the fabric keeps its zero-overhead fast path.
   /// The injector is seeded from nm.fault_seed (PM2_FAULT_SEED overrides).
   net::FaultPlan faults;
+
+  /// Record per-request lifecycle stamps into per-node FlightRecorders for
+  /// the attribution pass (see nmad/flight.hpp).  Also enabled implicitly
+  /// when PM2_METRICS or PM2_TRACE is set in the environment.
+  bool flight = false;
+  std::size_t flight_capacity = 8192;
 };
 
 class Cluster {
@@ -87,15 +95,37 @@ class Cluster {
     if (fabric_->faults() != nullptr) fabric_->faults()->set_tracer(tracer);
   }
 
+  /// The unified metrics registry.  Every subsystem counter is bound here
+  /// at construction; pm2::format_report and metrics.json read only this.
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Node `i`'s flight recorder (nullptr unless flight recording is on).
+  [[nodiscard]] nm::FlightRecorder* flight(unsigned i) noexcept {
+    return i < flights_.size() ? flights_[i].get() : nullptr;
+  }
+
+  /// Write metrics.json (registry + attribution) to `path`.  Returns false
+  /// on I/O failure.  Also runs automatically at destruction when the
+  /// PM2_METRICS environment variable names a path.
+  bool write_metrics_json(const std::string& path);
+
  private:
+  void bind_all_metrics();
+
   ClusterConfig cfg_;
   sim::Engine engine_;
   std::unique_ptr<marcel::Runtime> runtime_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<piom::Server>> servers_;
   std::vector<std::unique_ptr<nm::Core>> cores_;
+  std::vector<std::unique_ptr<nm::FlightRecorder>> flights_;
+  MetricsRegistry metrics_;
   std::unique_ptr<sim::Tracer> env_tracer_;
   std::string trace_path_;
+  std::string metrics_path_;
 };
 
 }  // namespace pm2

@@ -2,6 +2,10 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "pm2/attribution.hpp"
 
 namespace pm2 {
 namespace {
@@ -20,7 +24,15 @@ void appendf(std::string& out, const char* fmt, ...) {
 
 }  // namespace
 
+// The report reads exclusively from the metrics registry: every number
+// below is a registry lookup, so anything the report can show is also in
+// metrics.json and the trace counter tracks (single source of truth).
 std::string format_report(Cluster& cluster) {
+  const MetricsRegistry& m = cluster.metrics();
+  const auto v = [&m](const std::string& name) {
+    return static_cast<unsigned long long>(m.value(name));
+  };
+
   std::string out;
   appendf(out, "-- simulation report -- t=%.2f us, %llu events\n",
           to_us(cluster.now()),
@@ -28,56 +40,75 @@ std::string format_report(Cluster& cluster) {
               cluster.engine().events_processed()));
 
   for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    const std::string node = "node" + std::to_string(n);
     appendf(out, "node %u:\n", n);
-    marcel::Cpu::Stats cpu_total;
-    for (unsigned c = 0; c < cluster.node(n).cpu_count(); ++c) {
-      cpu_total.merge(cluster.node(n).cpu(c).stats());
-    }
+
+    // Per-CPU counters aggregate to node totals with a prefix/suffix scan.
+    const std::string cpus = node + "/cpu";
     appendf(out,
             "  cpu: thread %.1f us, service %.1f us, %llu tasklets, "
             "%llu switches, %llu steals\n",
-            to_us(cpu_total.thread_busy_ns), to_us(cpu_total.service_busy_ns),
-            static_cast<unsigned long long>(cpu_total.tasklets_run),
-            static_cast<unsigned long long>(cpu_total.ctx_switches),
-            static_cast<unsigned long long>(cpu_total.steals));
+            to_us(m.sum(cpus, "/thread_busy_ns")),
+            to_us(m.sum(cpus, "/service_busy_ns")),
+            static_cast<unsigned long long>(m.sum(cpus, "/tasklets_run")),
+            static_cast<unsigned long long>(m.sum(cpus, "/ctx_switches")),
+            static_cast<unsigned long long>(m.sum(cpus, "/steals")));
 
-    const auto& nm_stats = cluster.comm(n).stats();
     appendf(out,
             "  nm : %llu sends (%llu eager / %llu rdv), %llu recvs, "
             "%llu wire packets, unexpected %llu+%llu\n",
-            static_cast<unsigned long long>(nm_stats.sends),
-            static_cast<unsigned long long>(nm_stats.eager_sends),
-            static_cast<unsigned long long>(nm_stats.rdv_sends),
-            static_cast<unsigned long long>(nm_stats.recvs),
-            static_cast<unsigned long long>(nm_stats.wire_packets),
-            static_cast<unsigned long long>(nm_stats.unexpected_eager),
-            static_cast<unsigned long long>(nm_stats.unexpected_rts));
+            v(node + "/nm/sends"), v(node + "/nm/eager_sends"),
+            v(node + "/nm/rdv_sends"), v(node + "/nm/recvs"),
+            v(node + "/nm/wire_packets"), v(node + "/nm/unexpected_eager"),
+            v(node + "/nm/unexpected_rts"));
 
-    if (piom::Server* server = cluster.server(n)) {
-      const auto& ps = server->stats();
+    if (m.contains(node + "/piom/offload/posted")) {
       appendf(out,
               "  piom: %llu posted (%llu offloaded, %llu flushed in wait), "
               "%llu poll rounds, %llu interrupts, method=%s\n",
-              static_cast<unsigned long long>(ps.posted_items),
-              static_cast<unsigned long long>(ps.posted_offloaded),
-              static_cast<unsigned long long>(ps.posted_flushed),
-              static_cast<unsigned long long>(ps.poll_rounds),
-              static_cast<unsigned long long>(ps.interrupts),
-              server->method() == piom::Method::kPolling ? "polling"
-                                                         : "blocking");
+              v(node + "/piom/offload/posted"),
+              v(node + "/piom/offload/offloaded"),
+              v(node + "/piom/offload/flushed"),
+              v(node + "/piom/poll/rounds"), v(node + "/piom/interrupts"),
+              m.value(node + "/piom/method_blocking") != 0 ? "blocking"
+                                                          : "polling");
     }
 
-    std::uint64_t tx = 0, rx = 0, rdma = 0;
-    for (unsigned r = 0; r < cluster.fabric().rails(); ++r) {
-      const auto& ns = cluster.fabric().nic(n, r).stats();
-      tx += ns.bytes_tx;
-      rx += ns.bytes_rx;
-      rdma += ns.rdma_bytes;
+    if (m.contains(node + "/reliable/data_tx")) {
+      appendf(out,
+              "  arq : %llu data, %llu retransmits (%llu fast), "
+              "%llu dup drops, %llu corrupt drops\n",
+              v(node + "/reliable/data_tx"), v(node + "/reliable/retransmits"),
+              v(node + "/reliable/fast_retransmits"),
+              v(node + "/reliable/dup_drops"),
+              v(node + "/reliable/corrupt_drops"));
     }
+
+    const std::string nics = node + "/nic";
     appendf(out, "  nic : %llu B out, %llu B in, %llu B rdma\n",
-            static_cast<unsigned long long>(tx),
-            static_cast<unsigned long long>(rx),
-            static_cast<unsigned long long>(rdma));
+            static_cast<unsigned long long>(m.sum(nics, "/bytes_tx")),
+            static_cast<unsigned long long>(m.sum(nics, "/bytes_rx")),
+            static_cast<unsigned long long>(m.sum(nics, "/rdma_bytes")));
+  }
+
+  if (m.value("fabric/faults/considered") != 0) {
+    appendf(out,
+            "faults: %llu dropped, %llu duplicated, %llu reordered, "
+            "%llu corrupted (of %llu packets)\n",
+            v("fabric/faults/dropped"), v("fabric/faults/duplicated"),
+            v("fabric/faults/reordered"), v("fabric/faults/corrupted"),
+            v("fabric/faults/considered"));
+  }
+
+  // Latency attribution, when flight recording was on.
+  std::vector<const nm::FlightRecorder*> recorders;
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    recorders.push_back(cluster.flight(n));
+  }
+  const Attribution attr = attribute_flights(recorders);
+  if (attr.sends + attr.recvs > 0) {
+    export_attribution(cluster.metrics(), attr);
+    out += format_attribution(attr);
   }
   return out;
 }

@@ -2,33 +2,10 @@
 
 #include <cstdio>
 
+#include "common/metrics.hpp"
+#include "common/json.hpp"
+
 namespace pm2::sim {
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 int Tracer::track_id(std::string_view track) {
   const auto it = tracks_.find(track);
@@ -38,66 +15,115 @@ int Tracer::track_id(std::string_view track) {
   return id;
 }
 
+std::uint32_t Tracer::intern(std::string_view s) {
+  if (s.empty()) return 0;
+  const auto it = string_ids_.find(s);
+  if (it != string_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.push_back(json_escape(s));  // stored pre-escaped
+  string_ids_.emplace(std::string(s), id);
+  return id;
+}
+
 void Tracer::span(std::string_view track, std::string_view name,
                   SimTime start, SimTime end, std::string_view category) {
-  events_.push_back(Event{Event::Kind::kSpan, track_id(track),
-                          std::string(name), std::string(category), start,
-                          end, 0});
+  events_.push_back(Event{Event::Kind::kSpan, track_id(track), intern(name),
+                          intern(category), start, end, 0, 0});
 }
 
 void Tracer::instant(std::string_view track, std::string_view name,
                      SimTime at) {
   events_.push_back(Event{Event::Kind::kInstant, track_id(track),
-                          std::string(name), {}, at, at, 0});
+                          intern(name), 0, at, at, 0, 0});
 }
 
 void Tracer::counter(std::string_view track, std::string_view name,
                      SimTime at, double value) {
   events_.push_back(Event{Event::Kind::kCounter, track_id(track),
-                          std::string(name), {}, at, at, value});
+                          intern(name), 0, at, at, value, 0});
+}
+
+void Tracer::flow_begin(std::string_view track, std::string_view name,
+                        SimTime at, std::uint64_t id) {
+  events_.push_back(Event{Event::Kind::kFlowBegin, track_id(track),
+                          intern(name), 0, at, at, 0, id});
+}
+
+void Tracer::flow_end(std::string_view track, std::string_view name,
+                      SimTime at, std::uint64_t id) {
+  events_.push_back(Event{Event::Kind::kFlowEnd, track_id(track),
+                          intern(name), 0, at, at, 0, id});
 }
 
 std::string Tracer::to_json() const {
+  // Build by appending to a std::string (never a fixed buffer: event names
+  // are unbounded, and a truncated snprintf would cut a string literal in
+  // half and corrupt the whole document).
   std::string out = "[\n";
-  char buf[512];
+  out.reserve(events_.size() * 96 + tracks_.size() * 80 + 16);
+  char num[160];
   // Track-name metadata so the viewer shows readable lane labels.
   for (const auto& [name, tid] : tracks_) {
-    std::snprintf(buf, sizeof buf,
-                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
-                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}},\n",
-                  tid, escape(name).c_str());
-    out += buf;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    std::snprintf(num, sizeof num, "%d", tid);
+    out += num;
+    out += ",\"args\":{\"name\":\"";
+    out += json_escape(name);
+    out += "\"}},\n";
   }
   bool first = true;
   for (const Event& e : events_) {
     if (!first) out += ",\n";
     first = false;
+    const std::string& name = strings_[e.name];
     const double ts = static_cast<double>(e.start) / 1000.0;  // µs
     switch (e.kind) {
       case Event::Kind::kSpan: {
         const double dur = static_cast<double>(e.end - e.start) / 1000.0;
-        std::snprintf(buf, sizeof buf,
-                      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                      "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
-                      escape(e.name).c_str(),
-                      e.category.empty() ? "sim" : escape(e.category).c_str(),
+        out += "{\"name\":\"";
+        out += name;
+        out += "\",\"cat\":\"";
+        out += e.category == 0 ? "sim" : strings_[e.category];
+        std::snprintf(num, sizeof num,
+                      "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%d}",
                       ts, dur, e.tid);
+        out += num;
         break;
       }
       case Event::Kind::kInstant:
-        std::snprintf(buf, sizeof buf,
-                      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
-                      "\"pid\":1,\"tid\":%d,\"s\":\"t\"}",
-                      escape(e.name).c_str(), ts, e.tid);
+        out += "{\"name\":\"";
+        out += name;
+        std::snprintf(num, sizeof num,
+                      "\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,"
+                      "\"tid\":%d,\"s\":\"t\"}",
+                      ts, e.tid);
+        out += num;
         break;
       case Event::Kind::kCounter:
-        std::snprintf(buf, sizeof buf,
-                      "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
-                      "\"pid\":1,\"tid\":%d,\"args\":{\"value\":%g}}",
-                      escape(e.name).c_str(), ts, e.tid, e.value);
+        out += "{\"name\":\"";
+        out += name;
+        std::snprintf(num, sizeof num,
+                      "\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                      "\"tid\":%d,\"args\":{\"value\":%g}}",
+                      ts, e.tid, e.value);
+        out += num;
+        break;
+      case Event::Kind::kFlowBegin:
+      case Event::Kind::kFlowEnd:
+        out += "{\"name\":\"";
+        out += name;
+        // "bp":"e" binds the arrow endpoints to the *enclosing* slice, the
+        // behaviour Perfetto renders most reliably.
+        std::snprintf(num, sizeof num,
+                      "\",\"cat\":\"flow\",\"ph\":\"%s\",\"id\":%llu,"
+                      "\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}",
+                      e.kind == Event::Kind::kFlowBegin ? "s" : "f",
+                      static_cast<unsigned long long>(e.flow_id), ts, e.tid,
+                      e.kind == Event::Kind::kFlowEnd ? ",\"bp\":\"e\"" : "");
+        out += num;
         break;
     }
-    out += buf;
   }
   out += "\n]\n";
   return out;
@@ -110,6 +136,14 @@ bool Tracer::write_json(const std::string& path) const {
   const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();
+}
+
+void export_registry(Tracer& tracer, const MetricsRegistry& registry,
+                     SimTime at) {
+  registry.visit([&](const MetricsRegistry::View& v) {
+    if (v.kind == MetricsRegistry::Kind::kHistogram) return;
+    tracer.counter("metrics", v.name, at, v.number);
+  });
 }
 
 }  // namespace pm2::sim

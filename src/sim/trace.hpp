@@ -1,7 +1,12 @@
 // Chrome-trace (chrome://tracing, Perfetto) timeline emitter for the
-// simulation: per-core activity spans, packet events, counters.  Lets a
-// user *see* the offload happening — the injection span migrating from the
-// application thread's core to an idle core when PIOMan is enabled.
+// simulation: per-core activity spans, packet events, counters, and flow
+// arrows linking one request's stages across cores.  Lets a user *see* the
+// offload happening — the injection span migrating from the application
+// thread's core to an idle core when PIOMan is enabled, with an arrow from
+// the isend that posted it.
+//
+// Event and track names are interned: each distinct string is stored (and
+// JSON-escaped) once, so a million same-named spans cost one std::string.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,10 @@
 #include <vector>
 
 #include "common/simtime.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
 
 namespace pm2::sim {
 
@@ -32,6 +41,16 @@ class Tracer {
   void counter(std::string_view track, std::string_view name, SimTime at,
                double value);
 
+  /// Start of a flow arrow with identity `id`.  The event should fall
+  /// inside a span on `track`; the arrow is drawn from that span to the
+  /// span enclosing the matching flow_end.
+  void flow_begin(std::string_view track, std::string_view name, SimTime at,
+                  std::uint64_t id);
+
+  /// End of the flow arrow `id` (Chrome "f" phase, binding enclosing).
+  void flow_end(std::string_view track, std::string_view name, SimTime at,
+                std::uint64_t id);
+
   /// Serialize all events as a Chrome trace JSON array.
   [[nodiscard]] std::string to_json() const;
 
@@ -42,22 +61,44 @@ class Tracer {
     return events_.size();
   }
 
+  /// Distinct event/category names stored (tracks excluded) — observable
+  /// evidence that repeated names are interned, not copied per event.
+  [[nodiscard]] std::size_t interned_strings() const noexcept {
+    return strings_.size() - 1;  // slot 0 is the shared empty string
+  }
+
  private:
   struct Event {
-    enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+    enum class Kind : std::uint8_t {
+      kSpan,
+      kInstant,
+      kCounter,
+      kFlowBegin,
+      kFlowEnd,
+    };
     Kind kind;
     int tid;
-    std::string name;
-    std::string category;
+    std::uint32_t name;      // interned string id
+    std::uint32_t category;  // interned string id (0 = none)
     SimTime start = 0;
     SimTime end = 0;
     double value = 0;
+    std::uint64_t flow_id = 0;
   };
 
   int track_id(std::string_view track);
+  std::uint32_t intern(std::string_view s);
 
   std::vector<Event> events_;
+  std::vector<std::string> strings_{""};  // id 0 = empty
+  std::map<std::string, std::uint32_t, std::less<>> string_ids_;
   std::map<std::string, int, std::less<>> tracks_;
 };
+
+/// Mirror every counter/gauge the registry holds onto the "metrics"
+/// counter track at time `at` (typically end-of-run, or sampled
+/// periodically by the caller).
+void export_registry(Tracer& tracer, const MetricsRegistry& registry,
+                     SimTime at);
 
 }  // namespace pm2::sim

@@ -1,0 +1,109 @@
+// MetricsRegistry: registration semantics, name uniqueness, aggregation,
+// and JSON export.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace pm2 {
+namespace {
+
+TEST(Metrics, OwnedCounterSharesStorageByName) {
+  MetricsRegistry reg;
+  std::uint64_t& a = reg.counter("x/hits");
+  a = 3;
+  std::uint64_t& b = reg.counter("x/hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.value("x/hits"), 3.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Metrics, BoundCounterReadsThrough) {
+  MetricsRegistry reg;
+  std::uint64_t source = 0;
+  reg.bind_counter("sub/ops", &source);
+  EXPECT_EQ(reg.value("sub/ops"), 0.0);
+  source = 41;
+  EXPECT_EQ(reg.value("sub/ops"), 41.0);  // no re-registration needed
+}
+
+TEST(Metrics, BoundGaugeComputesAtReadTime) {
+  MetricsRegistry reg;
+  double level = 1.5;
+  reg.bind_gauge("sub/level", [&level] { return level; });
+  EXPECT_DOUBLE_EQ(reg.value("sub/level"), 1.5);
+  level = -2.0;
+  EXPECT_DOUBLE_EQ(reg.value("sub/level"), -2.0);
+}
+
+TEST(Metrics, KindClashAborts) {
+  MetricsRegistry reg;
+  reg.counter("dup");
+  EXPECT_DEATH(reg.gauge("dup"), "different kind");
+}
+
+TEST(Metrics, ContainsAndLenientValue) {
+  MetricsRegistry reg;
+  reg.counter("present");
+  EXPECT_TRUE(reg.contains("present"));
+  EXPECT_FALSE(reg.contains("absent"));
+  EXPECT_EQ(reg.value("absent"), 0.0);  // lenient: reports stay total
+}
+
+TEST(Metrics, SumAggregatesPrefixSuffix) {
+  MetricsRegistry reg;
+  reg.counter("node0/cpu0/steals") = 2;
+  reg.counter("node0/cpu1/steals") = 3;
+  reg.counter("node0/cpu1/dispatches") = 100;  // wrong suffix
+  reg.counter("node1/cpu0/steals") = 50;       // wrong prefix
+  EXPECT_EQ(reg.sum("node0/cpu", "/steals"), 5u);
+}
+
+TEST(Metrics, VisitIsNameOrdered) {
+  MetricsRegistry reg;
+  reg.counter("b");
+  reg.counter("a");
+  reg.gauge("c") = 1;
+  std::vector<std::string> names;
+  reg.visit([&](const MetricsRegistry::View& v) {
+    names.emplace_back(v.name);
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Metrics, HistogramExportsPercentiles) {
+  MetricsRegistry reg;
+  Log2Histogram& h = reg.histogram("lat");
+  for (int i = 0; i < 100; ++i) h.add(1000);
+  EXPECT_EQ(reg.find_histogram("lat"), &h);
+  EXPECT_EQ(reg.find_histogram("other"), nullptr);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":100"), std::string::npos);
+}
+
+TEST(Metrics, ToJsonIsValidJson) {
+  MetricsRegistry reg;
+  reg.counter("plain") = 7;
+  reg.counter("weird \"name\"\nwith\\escapes") = 1;
+  reg.gauge("g") = 0.25;
+  std::uint64_t bound = 9;
+  reg.bind_counter("bound", &bound);
+  reg.histogram("h").add(42);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"plain\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"bound\":9"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryToJsonIsValid) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(json_valid(reg.to_json()));
+}
+
+}  // namespace
+}  // namespace pm2

@@ -71,5 +71,45 @@ TEST(Log2Histogram, BucketsAndRender) {
   EXPECT_NE(text.find(": 2"), std::string::npos);  // values 2 and 3 share a bucket
 }
 
+TEST(Log2Histogram, MergeAddsPerBucket) {
+  Log2Histogram a, b, both;
+  for (std::uint64_t v : {1ull, 5ull, 100ull}) {
+    a.add(v);
+    both.add(v);
+  }
+  for (std::uint64_t v : {5ull, 5000ull}) {
+    b.add(v);
+    both.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket_count(i), both.bucket_count(i)) << "bucket " << i;
+  }
+}
+
+TEST(Log2Histogram, PercentileBounds) {
+  Log2Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.add(1000);  // all in one bucket
+  // Every sample lies in [512, 1023]; the estimate must too.
+  const double p50 = h.percentile(50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1023.0);
+  EXPECT_LE(h.percentile(1), h.percentile(99));
+}
+
+TEST(Log2Histogram, PercentileOrderingAcrossBuckets) {
+  Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(100);     // bucket [64, 127]
+  for (int i = 0; i < 10; ++i) h.add(100000);  // far-out tail
+  const double p50 = h.percentile(50);
+  const double p99 = h.percentile(99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 127.0);
+  EXPECT_GT(p99, 1000.0);  // the tail dominates the 99th
+  EXPECT_LE(p99, 131071.0);
+}
+
 }  // namespace
 }  // namespace pm2

@@ -1,13 +1,26 @@
 // Tracer: JSON structure, escaping, track metadata, Cluster integration.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "pm2/cluster.hpp"
 #include "sim/trace.hpp"
 
 namespace pm2::sim {
 namespace {
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = 0; (pos = hay.find(needle, pos)) != std::string::npos;
+       pos += needle.size()) {
+    ++n;
+  }
+  return n;
+}
 
 TEST(Trace, EmptyTracerEmitsValidArray) {
   Tracer tracer;
@@ -66,6 +79,87 @@ TEST(Trace, EscapesSpecialCharacters) {
   tracer.span("trk", "na\"me\\with\nstuff", 0, 1);
   const std::string json = tracer.to_json();
   EXPECT_NE(json.find("na\\\"me\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(Trace, FullDocumentIsValidJson) {
+  Tracer tracer;
+  // Names with every escaping hazard: quotes, backslashes, control chars,
+  // and lengths well past any fixed formatting buffer.
+  const std::string long_name(2048, 'x');
+  tracer.span("trk\"1\"", "quote\"back\\slash\ttab\nnewline", 0, 10);
+  tracer.span("trk\"1\"", long_name, 10, 20, "cat\"egory");
+  tracer.instant("trk2", "tick\x01\x1f", 5);
+  tracer.counter("trk2", "count\"er", 6, -1.25);
+  tracer.flow_begin("trk\"1\"", "flow", 3, 42);
+  tracer.flow_end("trk2", "flow", 8, 42);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(json_valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find(long_name), std::string::npos);
+}
+
+TEST(Trace, FlowEventsPairAndShareId) {
+  Tracer tracer;
+  tracer.span("a", "send", 0, 10);
+  tracer.span("b", "inject", 20, 30);
+  tracer.flow_begin("a", "offload", 5, 7);
+  tracer.flow_end("b", "offload", 25, 7);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"id\":7"), 2u);
+  // Chrome's flow semantics: the terminating event binds to the enclosing
+  // slice ("bp":"e"); exactly the "f" event carries it.
+  EXPECT_EQ(count_occurrences(json, "\"bp\":\"e\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"flow\""), 2u);
+}
+
+TEST(Trace, RepeatedNamesAreInternedOnce) {
+  Tracer tracer;
+  for (int i = 0; i < 50; ++i) {
+    tracer.span("t", "repeated-name", i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(tracer.event_count(), 50u);
+  const std::string json = tracer.to_json();
+  // Every event still prints its name...
+  EXPECT_EQ(count_occurrences(json, "repeated-name"), 50u);
+  // ...but the tracer stores it once (events hold 4-byte ids; the track
+  // name lives in the track table, not the string pool).
+  EXPECT_EQ(tracer.interned_strings(), 1u);
+}
+
+TEST(Trace, TrackIdsAreStableAcrossExports) {
+  Tracer tracer;
+  tracer.span("alpha", "x", 0, 1);
+  tracer.span("beta", "y", 1, 2);
+  const std::string first = tracer.to_json();
+  tracer.span("beta", "z", 2, 3);
+  const std::string second = tracer.to_json();
+  // The metadata line fixes each track's tid; adding events must not
+  // renumber existing tracks.
+  const auto tid_of = [](const std::string& json, const std::string& track) {
+    const std::size_t name = json.find("\"name\":\"" + track + "\"");
+    EXPECT_NE(name, std::string::npos) << track;
+    const std::size_t tid = json.rfind("\"tid\":", name);
+    EXPECT_NE(tid, std::string::npos);
+    return json.substr(tid, json.find(',', tid) - tid);
+  };
+  EXPECT_EQ(tid_of(first, "alpha"), tid_of(second, "alpha"));
+  EXPECT_EQ(tid_of(first, "beta"), tid_of(second, "beta"));
+}
+
+TEST(Trace, ExportRegistryEmitsCounterTracks) {
+  Tracer tracer;
+  MetricsRegistry reg;
+  reg.counter("piom/offload/posted") = 12;
+  reg.gauge("piom/load") = 0.5;
+  reg.histogram("lat").add(100);  // histograms are skipped
+  export_registry(tracer, reg, 5000);
+  const std::string json = tracer.to_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("piom/offload/posted"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":12"), std::string::npos);
+  EXPECT_EQ(json.find("lat"), std::string::npos);
 }
 
 TEST(Trace, WriteJsonToFile) {

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a pm2 metrics.json artefact (schema pm2-metrics-v1).
+
+Usage:
+    check_metrics.py METRICS_JSON [--expect-offload-beats BASELINE_JSON]
+
+Checks that the document parses, carries the expected sections, and that
+the attribution numbers are internally consistent.  With
+--expect-offload-beats, additionally asserts that METRICS_JSON (a PIOMan
+run) shows a strictly lower mean critical path than BASELINE_JSON (the
+app-driven run of the identical workload) — the paper's offload claim,
+checked in CI on every push.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value must be an object")
+    return doc
+
+
+def check_stat(attr: dict, name: str) -> dict:
+    s = attr.get(name)
+    if not isinstance(s, dict):
+        fail(f"attribution.{name} missing")
+    for key in ("count", "mean", "min", "max"):
+        if not isinstance(s.get(key), (int, float)):
+            fail(f"attribution.{name}.{key} missing or non-numeric")
+    if s["count"] > 0 and not (s["min"] <= s["mean"] <= s["max"]):
+        fail(f"attribution.{name}: min <= mean <= max violated: {s}")
+    return s
+
+
+def check_document(path: str) -> dict:
+    doc = load(path)
+    if doc.get("schema") != "pm2-metrics-v1":
+        fail(f"{path}: unexpected schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("sim_time_us"), (int, float)):
+        fail(f"{path}: sim_time_us missing")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: metrics section missing")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"{path}: metrics.{section} missing")
+    counters = metrics["counters"]
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name} not a non-negative integer")
+    # Every report line has a registry source; spot-check the core ones.
+    for required in ("node0/nm/sends", "node0/nm/recvs",
+                     "attribution/sends", "attribution/pairs"):
+        if required not in counters:
+            fail(f"{path}: required counter {required} absent")
+
+    attr = doc.get("attribution")
+    if not isinstance(attr, dict):
+        fail(f"{path}: attribution section missing")
+    for field in ("sends", "recvs", "pairs", "offloaded", "retransmitted",
+                  "dropped"):
+        if not isinstance(attr.get(field), int):
+            fail(f"{path}: attribution.{field} missing")
+    for name in ("critical_path_us", "offloaded_us", "send_critical_us",
+                 "recv_critical_us", "wire_us", "wait_us"):
+        check_stat(attr, name)
+    if attr["pairs"] > max(attr["sends"], attr["recvs"]):
+        fail(f"{path}: more pairs than requests ({attr['pairs']})")
+    if attr["critical_path_us"]["count"] != attr["sends"] + attr["recvs"]:
+        fail(f"{path}: critical_path count != sends + recvs")
+    print(f"check_metrics: {path}: ok "
+          f"({attr['sends']} sends, {attr['recvs']} recvs, "
+          f"crit {attr['critical_path_us']['mean']:.2f} us, "
+          f"offl {attr['offloaded_us']['mean']:.2f} us)")
+    return doc
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        sys.exit(0 if args else 2)
+
+    offload = check_document(args[0])
+    if len(args) >= 3 and args[1] == "--expect-offload-beats":
+        baseline = check_document(args[2])
+        off_crit = offload["attribution"]["critical_path_us"]["mean"]
+        base_crit = baseline["attribution"]["critical_path_us"]["mean"]
+        if offload["attribution"]["offloaded"] == 0:
+            fail("offload run reports zero offloaded requests")
+        if not off_crit < base_crit:
+            fail(f"offload critical path {off_crit:.2f} us is not below "
+                 f"baseline {base_crit:.2f} us")
+        print(f"check_metrics: offload beats baseline "
+              f"({off_crit:.2f} < {base_crit:.2f} us critical path)")
+
+
+if __name__ == "__main__":
+    main()
