@@ -1,0 +1,7 @@
+#include "common/lockdep_hook.hpp"
+
+namespace pm2::lockdep_hook {
+
+std::atomic<const Vtbl*> g_vtbl{nullptr};
+
+}  // namespace pm2::lockdep_hook

@@ -1,0 +1,35 @@
+// Indirection layer between the base locking primitives and the lockdep
+// runtime checker (src/marcel/lockdep.*).
+//
+// pm2::Spinlock lives at the bottom of the dependency graph and is header
+// only; the checker lives higher up (it needs fiber/thread context).  To
+// wire the two without inverting the layering, the primitives call through
+// this function-pointer table, which the checker installs when enabled.
+// Disabled cost: one relaxed atomic pointer load per lock operation.
+#pragma once
+
+#include <atomic>
+
+namespace pm2::lockdep_hook {
+
+struct Vtbl {
+  void (*acquired)(const void* lock, const char* lock_class);
+  void (*released)(const void* lock);
+};
+
+/// The active hook table, or nullptr when lockdep is disabled.
+extern std::atomic<const Vtbl*> g_vtbl;
+
+inline void acquired(const void* lock, const char* lock_class) noexcept {
+  if (const Vtbl* v = g_vtbl.load(std::memory_order_acquire); v != nullptr) {
+    v->acquired(lock, lock_class);
+  }
+}
+
+inline void released(const void* lock) noexcept {
+  if (const Vtbl* v = g_vtbl.load(std::memory_order_acquire); v != nullptr) {
+    v->released(lock);
+  }
+}
+
+}  // namespace pm2::lockdep_hook

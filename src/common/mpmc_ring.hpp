@@ -78,6 +78,10 @@ class MpmcRing {
       }
     }
     std::optional<T> out(std::move(cell->storage));
+    // Reset the slot before republishing it: a moved-from T may still own
+    // resources (buffers, shared_ptr refs) that would otherwise stay alive
+    // until the slot is overwritten, a full ring-capacity later.
+    cell->storage = T{};
     cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return out;
   }

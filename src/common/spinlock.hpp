@@ -11,6 +11,7 @@
 
 #include "common/backoff.hpp"
 #include "common/cacheline.hpp"
+#include "common/lockdep_hook.hpp"
 
 namespace pm2 {
 
@@ -27,17 +28,23 @@ class alignas(kCacheLineSize) Spinlock {
     for (;;) {
       // Test-and-set attempt first; on failure spin on a plain load so the
       // cache line stays shared until it is plausibly free.
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
       while (flag_.load(std::memory_order_relaxed)) backoff.pause();
     }
+    lockdep_hook::acquired(this, "pm2::Spinlock");
   }
 
   [[nodiscard]] bool try_lock() noexcept {
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    const bool ok = !flag_.load(std::memory_order_relaxed) &&
+                    !flag_.exchange(true, std::memory_order_acquire);
+    if (ok) lockdep_hook::acquired(this, "pm2::Spinlock");
+    return ok;
   }
 
-  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    lockdep_hook::released(this);
+    flag_.store(false, std::memory_order_release);
+  }
 
   /// Diagnostic only — racy by nature.
   [[nodiscard]] bool is_locked() const noexcept {
@@ -59,16 +66,20 @@ class alignas(kCacheLineSize) TicketLock {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff;
     while (serving_.load(std::memory_order_acquire) != my) backoff.pause();
+    lockdep_hook::acquired(this, "pm2::TicketLock");
   }
 
   [[nodiscard]] bool try_lock() noexcept {
     std::uint32_t cur = serving_.load(std::memory_order_acquire);
-    return next_.compare_exchange_strong(cur, cur + 1,
-                                         std::memory_order_acquire,
-                                         std::memory_order_relaxed);
+    const bool ok = next_.compare_exchange_strong(cur, cur + 1,
+                                                  std::memory_order_acquire,
+                                                  std::memory_order_relaxed);
+    if (ok) lockdep_hook::acquired(this, "pm2::TicketLock");
+    return ok;
   }
 
   void unlock() noexcept {
+    lockdep_hook::released(this);
     serving_.fetch_add(1, std::memory_order_release);
   }
 

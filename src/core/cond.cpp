@@ -3,7 +3,9 @@
 #include "common/assert.hpp"
 #include "core/server.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/lockdep.hpp"
 #include "marcel/node.hpp"
+#include "sim/schedule_fuzz.hpp"
 
 namespace pm2::piom {
 
@@ -32,9 +34,19 @@ void Cond::wait() {
     if (cpu.runnable() > 0) {
       // Other threads want this core: wait passively, progression is
       // covered by idle cores, the LWP, or the other threads' own waits.
+      //
+      // Historical race window: on real hardware the completion can land
+      // between the last done_ check and going to sleep.  The fuzzer opens
+      // that window here — BEFORE we enlist as a waiter, so a signal()
+      // landing inside it sees an empty waiter list and we re-check done_
+      // instead of blocking on an already-signalled condition.
+      sim::fuzz::interleave_point("piom-cond/pre-block");
+      if (done_) break;
       ++server_->stats_.cond_passive_blocks;
       waiters_.push_back(*self);
-      cpu.block_current();
+      lockdep::check_block(done_, "piom::Cond");
+      // The interleave window may have migrated us: refetch the CPU.
+      marcel::this_thread::cpu().block_current();
       continue;
     }
     const bool progress = server_->poll_round(cpu);
@@ -62,9 +74,14 @@ Status Cond::wait_for(SimDuration timeout) {
     marcel::Cpu& cpu = marcel::this_thread::cpu();
     if (cpu.runnable() > 0) {
       // Passive timed wait: a deadline event yanks us out of the waiter
-      // list if the signal has not arrived by then.
+      // list if the signal has not arrived by then.  Same pre-block race
+      // window as wait(): open it before enlisting, then re-check done_.
+      sim::fuzz::interleave_point("piom-cond/pre-block-timed");
+      if (done_) break;
+      if (engine.now() >= deadline) return Status::kTimedOut;
       ++server_->stats_.cond_passive_blocks;
       waiters_.push_back(*self);
+      lockdep::check_block(done_, "piom::Cond");
       marcel::Node& node = self->node();
       const sim::EventId timer =
           engine.schedule_at(deadline, [this, self, &node] {
@@ -73,7 +90,8 @@ Status Cond::wait_for(SimDuration timeout) {
               node.wake(*self);
             }
           });
-      cpu.block_current();
+      // The interleave window may have migrated us: refetch the CPU.
+      marcel::this_thread::cpu().block_current();
       engine.cancel(timer);
       continue;
     }

@@ -7,6 +7,10 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/lockdep.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+#include "sim/schedule_fuzz.hpp"
 
 namespace pm2::piom {
 namespace {
@@ -35,6 +39,19 @@ Server::Server(marcel::Node& node, Config cfg)
 }
 
 Server::~Server() {
+  // Stop and join the LWP before tearing down.  Its fiber captures `this`;
+  // merely removing the hooks used to leave it schedulable, so the next
+  // engine step after destruction ran lwp_body() on a dead Server
+  // (use-after-free).
+  shutdown();
+  if (lwp_ != nullptr && !lwp_->finished()) {
+    PM2_ASSERT_MSG(sim::Fiber::current() == nullptr,
+                   "~Server must run from engine/host context, not a fiber");
+    sim::Engine& engine = node_.engine();
+    while (!lwp_->finished() && engine.run_one()) {
+    }
+    PM2_ASSERT_MSG(lwp_->finished(), "piom-lwp failed to drain");
+  }
   node_.remove_idle_hook(idle_hook_id_);
   node_.remove_tick_hook(tick_hook_id_);
   node_.remove_switch_hook(switch_hook_id_);
@@ -42,12 +59,27 @@ Server::~Server() {
 
 int Server::register_ltask(LtaskFn fn) {
   const int id = next_ltask_id_++;
-  ltasks_.push_back({id, std::move(fn)});
+  auto entry = std::make_unique<LtaskEntry>();
+  entry->id = id;
+  entry->fn = std::move(fn);
+  ltasks_.push_back(std::move(entry));
   return id;
 }
 
 void Server::unregister_ltask(int id) {
-  std::erase_if(ltasks_, [id](const auto& e) { return e.id == id; });
+  if (poll_round_depth_ > 0) {
+    // Mid-round (typically a callback unregistering itself): destroying a
+    // std::function while its body executes is UB, and erase would shift
+    // the vector under the iterating loop.  Tombstone; swept at depth 0.
+    for (auto& e : ltasks_) {
+      if (e->id == id && e->alive) {
+        e->alive = false;
+        ltasks_dirty_ = true;
+      }
+    }
+    return;
+  }
+  std::erase_if(ltasks_, [id](const auto& e) { return e->id == id; });
 }
 
 void Server::set_block_support(BlockSupport support) {
@@ -127,9 +159,20 @@ bool Server::run_posted(marcel::Cpu& cpu) {
 bool Server::poll_round(marcel::Cpu& cpu) {
   ++stats_.poll_rounds;
   bool progress = false;
-  for (auto& entry : ltasks_) {
+  ++poll_round_depth_;
+  // Index loop, size re-read each pass: callbacks may register new ltasks
+  // (picked up this round) or unregister existing ones (tombstoned, skipped)
+  // while we iterate.
+  for (std::size_t i = 0; i < ltasks_.size(); ++i) {
+    if (!ltasks_[i]->alive) continue;
     if (cfg_.ltask_poll_cost > 0) burn(cpu, cfg_.ltask_poll_cost);
-    progress = entry.fn(cpu) || progress;
+    // The burn can preempt; another fiber may have unregistered this entry.
+    if (!ltasks_[i]->alive) continue;
+    progress = ltasks_[i]->fn(cpu) || progress;
+  }
+  if (--poll_round_depth_ == 0 && ltasks_dirty_) {
+    ltasks_dirty_ = false;
+    std::erase_if(ltasks_, [](const auto& e) { return !e->alive; });
   }
   return progress;
 }
@@ -209,11 +252,21 @@ void Server::offload_tasklet_body() {
 
 void Server::lwp_body() {
   for (;;) {
+    lwp_waiting_ = true;
+    // Historical race window: on real hardware an interrupt can land after
+    // the LWP announces it is waiting but before it is actually asleep.
+    // The fuzzer opens this window; on_interrupt() must then NOT wake us
+    // (we are not blocked yet) — the re-check below picks the event up.
+    sim::fuzz::interleave_point("piom-lwp/pre-block");
     if (!lwp_has_event_) {
+      // The event-flag check and the block are atomic (no suspension in
+      // between): an interrupt delivered in the window above set the flag
+      // and is observed here instead of being stranded.
+      lockdep::check_block(lwp_has_event_ || shutdown_, "piom-lwp event flag");
       // Block in the (modelled) kernel until an interrupt arrives.
-      lwp_waiting_ = true;
       marcel::this_thread::cpu().block_current();
     }
+    lwp_waiting_ = false;
     lwp_has_event_ = false;
     if (shutdown_) return;
     // Interrupt handling + kernel wakeup path.
@@ -227,12 +280,14 @@ void Server::lwp_body() {
 void Server::on_interrupt() {
   ++stats_.interrupts;
   if (lwp_ == nullptr) return;
-  if (lwp_waiting_) {
+  lwp_has_event_ = true;
+  // Only wake the LWP once it is really asleep.  In the pre-block window
+  // (lwp_waiting_ set, fiber not yet blocked) waking would trip the
+  // scheduler's "waking a thread that is not blocked" invariant and strand
+  // the event; the LWP's pre-block re-check observes the flag instead.
+  if (lwp_waiting_ && lwp_->state() == marcel::ThreadState::kBlocked) {
     lwp_waiting_ = false;
-    lwp_has_event_ = true;
     node_.wake(*lwp_);  // realtime priority: preempts a busy core
-  } else {
-    lwp_has_event_ = true;  // already running; it will loop once more
   }
 }
 
@@ -257,9 +312,10 @@ void Server::bind_metrics(MetricsRegistry& registry,
 
 void Server::shutdown() {
   shutdown_ = true;
-  if (lwp_ != nullptr && lwp_waiting_) {
+  if (lwp_ == nullptr) return;
+  lwp_has_event_ = true;  // pre-block re-check observes this if not asleep
+  if (lwp_waiting_ && lwp_->state() == marcel::ThreadState::kBlocked) {
     lwp_waiting_ = false;
-    lwp_has_event_ = true;
     node_.wake(*lwp_);
   }
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -167,9 +168,14 @@ class Server {
   struct LtaskEntry {
     int id;
     LtaskFn fn;
+    bool alive = true;  // tombstoned by unregister_ltask mid-round
   };
-  std::vector<LtaskEntry> ltasks_;
+  // unique_ptr entries: addresses stay stable when a callback registers a
+  // new ltask (push_back may reallocate) while poll_round iterates.
+  std::vector<std::unique_ptr<LtaskEntry>> ltasks_;
   int next_ltask_id_ = 1;
+  int poll_round_depth_ = 0;   // poll_round can nest across fibers
+  bool ltasks_dirty_ = false;  // tombstones awaiting the depth-0 sweep
 
   unsigned armed_ = 0;
   unsigned critical_ = 0;  // subset of armed_ needing interrupt fallback

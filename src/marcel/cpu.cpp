@@ -6,8 +6,10 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
+#include "marcel/lockdep.hpp"
 #include "marcel/node.hpp"
 #include "marcel/runtime.hpp"
+#include "sim/schedule_fuzz.hpp"
 
 namespace pm2::marcel {
 namespace {
@@ -70,6 +72,9 @@ void Cpu::note_new_work() noexcept {
 
 void Cpu::kick(SimDuration delay) {
   if (busy()) return;  // the dispatcher runs again when the occupant yields
+  if (sim::ScheduleFuzzer* fz = engine_.fuzzer()) {
+    delay = fz->perturb_delay(delay);  // fuzz wakeup/IPI delivery timing
+  }
   const SimTime when = engine_.now() + delay;
   if (dispatch_pending_) {
     if (when >= dispatch_time_) return;
@@ -114,6 +119,15 @@ void Cpu::dispatch() {
     }
   }
   if (node_.has_idle_hooks() && !idle_park_) {
+    if (sim::ScheduleFuzzer* fz = engine_.fuzzer()) {
+      // Idle-core churn: defer entering the idle-poll loop so other cores'
+      // events interleave differently with this core's polling rounds.
+      SimDuration churn = 0;
+      if (fz->churn_idle(&churn)) {
+        kick(churn);
+        return;
+      }
+    }
     service_idle_mode_ = true;
     begin_run(Occupant::kService, nullptr);
     return;
@@ -266,7 +280,11 @@ void Cpu::trace_occupancy_end() {
 
 void Cpu::arm_tick() {
   if (tick_event_ != sim::kInvalidEventId || cfg_.timer_tick == 0) return;
-  tick_event_ = engine_.schedule_after(cfg_.timer_tick, [this] {
+  SimDuration period = cfg_.timer_tick;
+  if (sim::ScheduleFuzzer* fz = engine_.fuzzer()) {
+    period = fz->perturb_tick(period);  // fuzz the tick phase
+  }
+  tick_event_ = engine_.schedule_after(period, [this] {
     tick_event_ = sim::kInvalidEventId;
     on_tick();
   });
@@ -296,7 +314,10 @@ SimDuration Cpu::compute_chunk(SimDuration d) {
     suspend_current(SuspendReason::kPreempted);
     return d;  // caller refetches the (possibly new) CPU and continues
   }
-  const SimDuration chunk = std::min<SimDuration>(d, cfg_.quantum);
+  SimDuration chunk = std::min<SimDuration>(d, cfg_.quantum);
+  if (sim::ScheduleFuzzer* fz = engine_.fuzzer()) {
+    chunk = fz->perturb_chunk(chunk);  // extra preemption points
+  }
   chunk_start_ = engine_.now();
   resume_event_ = engine_.schedule_after(chunk, [this] { run_occupant(); });
   suspend_current(SuspendReason::kCompute);
@@ -319,6 +340,9 @@ void Cpu::block_current() {
 }
 
 void Cpu::suspend_current(SuspendReason r) {
+  if (lockdep::enabled()) {
+    lockdep::note_suspension(r == SuspendReason::kBlocked);
+  }
   last_suspend_ = r;
   sim::Fiber::suspend();
 }
@@ -367,11 +391,13 @@ void Cpu::run_one_tasklet(Tasklet& t) {
   t.running_ = true;
   ++t.runs_;
   ++stats_.tasklets_run;
+  lockdep::tasklet_enter(&t, t.name().c_str());
   if (cfg_.tasklet_dispatch_cost > 0) {
     SimDuration left = cfg_.tasklet_dispatch_cost;
     while (left > 0) left = compute_chunk(left);
   }
   t.fn_();
+  lockdep::tasklet_exit(&t);
   t.running_ = false;
   if (t.resched_target_ != nullptr) {
     Cpu* target = t.resched_target_;

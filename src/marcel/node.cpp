@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "marcel/lockdep.hpp"
 #include "marcel/runtime.hpp"
 
 namespace pm2::marcel {
@@ -123,11 +124,15 @@ bool Node::run_idle_hooks(Cpu& cpu) {
 }
 
 void Node::run_tick_hooks(Cpu& cpu) {
+  lockdep::engine_context_enter("tick-hooks");
   for (auto& e : tick_hooks_) e.fn(cpu);
+  lockdep::engine_context_exit();
 }
 
 void Node::run_switch_hooks(Cpu& cpu) {
+  lockdep::engine_context_enter("switch-hooks");
   for (auto& e : switch_hooks_) e.fn(cpu);
+  lockdep::engine_context_exit();
 }
 
 void Node::offer_steal(Cpu& origin) {

@@ -1,6 +1,9 @@
 #include "marcel/runtime.hpp"
 
 #include "common/assert.hpp"
+#include "marcel/cpu.hpp"
+#include "marcel/thread.hpp"
+#include "sim/schedule_fuzz.hpp"
 
 namespace pm2::marcel {
 
@@ -10,6 +13,19 @@ Runtime::Runtime(sim::Engine& engine, Config cfg)
   nodes_.reserve(cfg_.nodes);
   for (unsigned i = 0; i < cfg_.nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i, cfg_, engine));
+  }
+}
+
+void Runtime::attach_fuzzer(sim::ScheduleFuzzer* fuzzer) {
+  engine_.set_fuzzer(fuzzer);
+  sim::set_active_fuzzer(fuzzer);
+  if (fuzzer != nullptr) {
+    // An interleave window is modeled as a short compute: the calling fiber
+    // suspends at a chunk boundary, letting already-queued events (signals,
+    // interrupt deliveries, wakeups) land inside the historical race window.
+    fuzzer->set_suspend_hook([](SimDuration d) {
+      if (detail::current_cpu() != nullptr) this_thread::compute(d);
+    });
   }
 }
 

@@ -34,6 +34,12 @@ class Runtime {
   void set_tracer(sim::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attach a schedule fuzzer (nullptr detaches): wires it into the engine
+  /// (event-time jitter), publishes it as the process-wide active fuzzer for
+  /// fuzz::interleave_point() sites, and installs a suspend hook that turns
+  /// interleave windows into real compute-suspensions of the calling fiber.
+  void attach_fuzzer(sim::ScheduleFuzzer* fuzzer);
+
  private:
   sim::Engine& engine_;
   Config cfg_;

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/lockdep.hpp"
 #include "marcel/node.hpp"
 
 namespace pm2::marcel {
@@ -24,23 +25,27 @@ void Mutex::lock() {
   PM2_ASSERT_MSG(owner_ != &self, "recursive lock of a non-recursive mutex");
   if (owner_ == nullptr) {
     owner_ = &self;
+    lockdep::acquired(this, "marcel::Mutex");
     return;
   }
   waiters_.push_back(self);
   detail::current_cpu()->block_current();
   // unlock() handed ownership to us before waking.
   PM2_ASSERT(owner_ == &self);
+  lockdep::acquired(this, "marcel::Mutex");
 }
 
 bool Mutex::try_lock() {
   Thread& self = current_thread_checked();
   if (owner_ != nullptr) return false;
   owner_ = &self;
+  lockdep::acquired(this, "marcel::Mutex");
   return true;
 }
 
 void Mutex::unlock() {
   PM2_ASSERT_MSG(owner_ == this_thread::self(), "unlock by non-owner");
+  lockdep::released(this);
   if (Thread* next = waiters_.pop_front()) {
     owner_ = next;  // direct hand-off: no barging
     next->node().wake(*next);

@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "nmad/reliable.hpp"
 #include "pm2/attribution.hpp"
+#include "sim/schedule_fuzz.hpp"
 #include "sim/trace.hpp"
 
 namespace pm2 {
@@ -20,6 +21,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
       cfg_.pioman ? nm::ProgressMode::kPioman : nm::ProgressMode::kAppDriven;
 
   runtime_ = std::make_unique<marcel::Runtime>(engine_, cfg_.marcel);
+  // Attach the schedule fuzzer before any server/core is built so every
+  // dispatch, tick and wakeup of this run is perturbed consistently.
+  std::uint64_t fuzz_seed = cfg_.fuzz_seed;
+  if (const char* env = std::getenv("PM2_FUZZ_SEED"); env != nullptr) {
+    fuzz_seed = std::strtoull(env, nullptr, 0);
+  }
+  if (fuzz_seed != 0) {
+    fuzzer_ = std::make_unique<sim::ScheduleFuzzer>(fuzz_seed);
+    runtime_->attach_fuzzer(fuzzer_.get());
+  }
   if (!cfg_.rail_costs.empty()) {
     cfg_.rails = static_cast<unsigned>(cfg_.rail_costs.size());
     fabric_ =
@@ -76,6 +87,9 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 Cluster::~Cluster() {
+  if (fuzzer_ != nullptr && sim::active_fuzzer() == fuzzer_.get()) {
+    sim::set_active_fuzzer(nullptr);
+  }
   if (!metrics_path_.empty()) {
     if (write_metrics_json(metrics_path_)) {
       PM2_INFO("wrote metrics to %s", metrics_path_.c_str());

@@ -53,6 +53,12 @@ struct ClusterConfig {
   /// when PM2_METRICS or PM2_TRACE is set in the environment.
   bool flight = false;
   std::size_t flight_capacity = 8192;
+
+  /// Schedule-exploration fuzzing (see sim/schedule_fuzz.hpp): 0 = off,
+  /// any other value seeds a deterministic schedule perturbation.  The
+  /// PM2_FUZZ_SEED environment variable overrides this, so any failing
+  /// interleaving can be replayed on an unmodified binary.
+  std::uint64_t fuzz_seed = 0;
 };
 
 class Cluster {
@@ -102,6 +108,12 @@ class Cluster {
     return metrics_;
   }
 
+  /// The active schedule fuzzer (nullptr unless fuzz_seed / PM2_FUZZ_SEED
+  /// is non-zero).  Its decision trace identifies a failing interleaving.
+  [[nodiscard]] sim::ScheduleFuzzer* fuzzer() noexcept {
+    return fuzzer_.get();
+  }
+
   /// Node `i`'s flight recorder (nullptr unless flight recording is on).
   [[nodiscard]] nm::FlightRecorder* flight(unsigned i) noexcept {
     return i < flights_.size() ? flights_[i].get() : nullptr;
@@ -117,6 +129,7 @@ class Cluster {
 
   ClusterConfig cfg_;
   sim::Engine engine_;
+  std::unique_ptr<sim::ScheduleFuzzer> fuzzer_;
   std::unique_ptr<marcel::Runtime> runtime_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<piom::Server>> servers_;

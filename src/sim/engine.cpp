@@ -3,12 +3,14 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/schedule_fuzz.hpp"
 
 namespace pm2::sim {
 
 EventId Engine::schedule_at(SimTime t, Callback cb) {
   PM2_ASSERT_MSG(t >= now_, "scheduling into the past");
   PM2_ASSERT(cb != nullptr);
+  if (fuzzer_ != nullptr) t = fuzzer_->perturb_event_time(t);
   const EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(cb)});
   pending_.insert(id);

@@ -13,6 +13,8 @@
 
 namespace pm2::sim {
 
+class ScheduleFuzzer;
+
 /// Identifier usable to cancel a scheduled event.  Never reused.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
@@ -46,6 +48,18 @@ class Engine {
 
   /// Run until the event queue drains or stop() is called.
   void run();
+
+  /// Dispatch exactly one event; false when the queue is drained.  Used by
+  /// teardown paths (e.g. piom::Server joining its LWP) that must advance
+  /// the simulation a bounded amount from host context.
+  bool run_one() { return step(); }
+
+  /// Attach a schedule fuzzer (nullptr detaches): newly scheduled events
+  /// may then be nudged a few ns later, perturbing the FIFO tie-breaking
+  /// between nearby events.  Existing queue entries are untouched, so
+  /// attaching mid-run is safe.
+  void set_fuzzer(ScheduleFuzzer* fuzzer) noexcept { fuzzer_ = fuzzer; }
+  [[nodiscard]] ScheduleFuzzer* fuzzer() const noexcept { return fuzzer_; }
 
   /// Run events with time <= `t`; afterwards now() == t unless stopped
   /// early.  Returns false if stop() interrupted the run.
@@ -81,6 +95,7 @@ class Engine {
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  ScheduleFuzzer* fuzzer_ = nullptr;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

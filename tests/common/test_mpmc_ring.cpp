@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -39,6 +40,44 @@ TEST(MpmcRing, WrapsAround) {
 
 TEST(MpmcRing, RejectsNonPowerOfTwo) {
   EXPECT_DEATH(MpmcRing<int>(3), "power of two");
+}
+
+TEST(MpmcRing, ReleasesPayloadPromptlyOnPop) {
+  // Regression: try_pop used to leave the moved-from slot holding whatever
+  // the move constructor left behind (for shared_ptr-like payloads, a live
+  // reference), keeping the resource alive until the slot was overwritten
+  // up to a full ring-capacity later.
+  MpmcRing<std::shared_ptr<int>> ring(8);
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  ASSERT_TRUE(ring.try_push(std::move(payload)));
+  {
+    auto popped = ring.try_pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(**popped, 42);
+  }
+  // The slot has not been reused — the pop alone must have dropped the
+  // ring's reference.
+  EXPECT_TRUE(watch.expired())
+      << "slot retains the payload until overwritten";
+}
+
+TEST(MpmcRing, ReleasesEveryPayloadAcrossWrap) {
+  MpmcRing<std::shared_ptr<int>> ring(4);
+  std::vector<std::weak_ptr<int>> watches;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      auto p = std::make_shared<int>(round * 10 + i);
+      watches.push_back(p);
+      ASSERT_TRUE(ring.try_push(std::move(p)));
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_pop().has_value());
+    }
+    for (const auto& w : watches) {
+      EXPECT_TRUE(w.expired()) << "round " << round;
+    }
+  }
 }
 
 TEST(MpmcRing, MultiThreadConservation) {
