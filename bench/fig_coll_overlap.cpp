@@ -1,0 +1,103 @@
+// Compute/communication overlap of the nonblocking collective engine:
+// the gradient-descent pattern — iallreduce_sum(grad), a slab of local
+// compute, wait().  With PIOMan, idle cores execute the schedule DAG in
+// the compute's shadow; the app-driven baseline cannot progress the
+// collective until wait(), so nothing hides.
+//
+//   overlap% = (T_comm + T_comp - T_total) / T_comm,  with T_comp = T_comm.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "nmad/mpi.hpp"
+
+namespace {
+
+using namespace pm2;
+
+struct OverlapResult {
+  double comm_us = 0;     // blocking all-reduce alone
+  double total_us = 0;    // iallreduce + compute(T_comm) + wait
+  double overlap_pct = 0; // fraction of T_comm hidden behind the compute
+};
+
+OverlapResult run_overlap(bool pioman, unsigned nodes, std::size_t elems,
+                          int iters) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = pioman;
+  Cluster cluster(cfg);
+  std::vector<mpi::Comm> comms;
+  comms.reserve(nodes);
+  for (unsigned r = 0; r < nodes; ++r) {
+    comms.emplace_back(cluster.comm(r), nodes, cluster.coll_ptr(r));
+  }
+  std::vector<std::vector<double>> grads(nodes, std::vector<double>(elems));
+  OverlapResult res;
+  for (unsigned r = 0; r < nodes; ++r) {
+    cluster.run_on(r, [&, r] {
+      mpi::Comm& c = comms[r];
+      std::vector<double>& grad = grads[r];
+      for (std::size_t i = 0; i < elems; ++i) {
+        grad[i] = static_cast<double>(r + 1);
+      }
+      c.barrier();
+      // Phase 1: the communication alone sets the yardstick.
+      const SimTime t0 = cluster.now();
+      for (int i = 0; i < iters; ++i) c.allreduce_sum(grad);
+      const SimTime t1 = cluster.now();
+      const SimDuration comm = (t1 - t0) / iters;
+      c.barrier();
+      // Phase 2: same all-reduce, launched nonblocking, with an equal
+      // slab of gradient compute in its shadow.
+      const SimTime t2 = cluster.now();
+      for (int i = 0; i < iters; ++i) {
+        nm::coll::CollRequest* req = c.iallreduce_sum(grad);
+        marcel::this_thread::compute(comm);
+        c.wait(req);
+      }
+      const SimTime t3 = cluster.now();
+      c.barrier();
+      if (r == 0) {
+        res.comm_us = to_us(comm);
+        res.total_us = to_us(t3 - t2) / iters;
+        res.overlap_pct =
+            100.0 * (2.0 * res.comm_us - res.total_us) / res.comm_us;
+      }
+    });
+  }
+  cluster.run();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pm2::bench;
+  constexpr unsigned kNodes = 4;
+  constexpr int kIters = 8;
+
+  std::printf("Gradient all-reduce overlap (%u nodes x 4 cores, "
+              "iallreduce_sum + equal compute)\n", kNodes);
+  print_header("Overlap, PIOMan vs app-driven baseline",
+               {"elems", "piom comm", "piom total", "piom ovl%",
+                "base total", "base ovl%"});
+  for (const std::size_t elems : {4096ul, 65536ul, 262144ul}) {
+    const OverlapResult piom = run_overlap(true, kNodes, elems, kIters);
+    const OverlapResult base = run_overlap(false, kNodes, elems, kIters);
+    print_cell(std::to_string(elems));
+    print_cell(piom.comm_us);
+    print_cell(piom.total_us);
+    print_cell(piom.overlap_pct);
+    print_cell(base.total_us);
+    print_cell(base.overlap_pct);
+    end_row();
+  }
+  std::printf(
+      "\nWith PIOMan, completion events drive the schedule DAG on idle\n"
+      "cores, so the all-reduce advances while the application computes.\n"
+      "The baseline serializes: the DAG only moves inside wait().\n");
+  return 0;
+}

@@ -1,0 +1,245 @@
+// Nonblocking collective engine: schedule-DAG collectives progressed by
+// idle cores.
+//
+// Each operation (ibarrier, ibcast, iallreduce_sum, ...) compiles into a
+// schedule DAG of primitive ops — send, recv, local-reduce, copy — with
+// explicit data/anti dependencies.  The DAG is *executed by completion
+// events*: when a constituent send/recv completes, its continuation
+// (Core::set_continuation) marks the dependents ready, and whatever core
+// the PIOMan server next runs — an idle core's poll fiber, a tasklet, a
+// waiter — issues them.  Between icoll() and wait() the calling thread is
+// not involved at all, so a compute phase overlaps the whole collective
+// (§2.2 offloaded submission, §2.3 asynchronous progression, applied one
+// layer up).
+//
+// Tag discipline: every matched (send, recv) pair in a schedule gets its
+// own tag from the engine's reserved band (Core::alloc_coll_tags), so DAG
+// ops can be issued in any order on any core without perturbing the
+// per-(peer, tag) FIFO sequence matching underneath.  Ranks allocate tag
+// blocks in lockstep because collectives are called in the same order
+// everywhere (MPI semantics).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/cond.hpp"
+#include "nmad/core.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
+
+namespace pm2::nm::coll {
+
+using Algo = CollAlgo;
+
+/// One primitive node of a schedule DAG.
+struct Op {
+  enum class Kind : std::uint8_t { kSend, kRecv, kReduce, kCopy };
+
+  Kind kind = Kind::kCopy;
+  std::uint16_t round = 0;  // stage-stamp bucket (CollRequest::rounds())
+  unsigned peer = 0;        // send/recv: remote rank
+  Tag tag = 0;              // send/recv: wire tag (unique per matched pair)
+
+  std::span<const std::byte> src;   // send payload / copy source
+  std::span<std::byte> dst;         // recv buffer / copy destination
+  std::span<const double> red_src;  // reduce: addend
+  std::span<double> red_dst;        // reduce: accumulator (dst += src)
+
+  std::uint32_t deps = 0;           // unsatisfied predecessor count
+  std::vector<std::uint32_t> out;   // successors unlocked by my completion
+};
+
+inline constexpr std::uint32_t kNoOp = 0xffffffffu;
+
+/// A DAG under construction.  Builder methods return the op's index;
+/// dep(a, b) records "b cannot start before a completed" — used both for
+/// true data dependencies (reduce after recv) and for anti dependencies
+/// (do not overwrite a buffer an in-flight send still reads).
+class Schedule {
+ public:
+  std::uint32_t send(unsigned peer, Tag tag, std::span<const std::byte> data,
+                     std::uint16_t round);
+  std::uint32_t recv(unsigned peer, Tag tag, std::span<std::byte> buffer,
+                     std::uint16_t round);
+  std::uint32_t reduce(std::span<double> acc, std::span<const double> addend,
+                       std::uint16_t round);
+  std::uint32_t copy(std::span<std::byte> dst, std::span<const std::byte> src,
+                     std::uint16_t round);
+  void dep(std::uint32_t before, std::uint32_t after);
+
+  std::vector<Op> ops;
+};
+
+/// Handle for one in-flight collective; obtained from Engine::i*, consumed
+/// by Engine::wait / Engine::test (which recycle it).
+class CollRequest {
+ public:
+  CollRequest() = default;
+  CollRequest(const CollRequest&) = delete;
+  CollRequest& operator=(const CollRequest&) = delete;
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] Algo algo() const noexcept { return algo_; }
+  [[nodiscard]] SimTime issued_at() const noexcept { return issued_at_; }
+
+  /// Per-round stage stamps: when the first op of the round was issued and
+  /// when its last op completed.  Rounds of a pipelined schedule overlap —
+  /// that overlap *is* the streaming the chunked algorithms buy.
+  struct Round {
+    SimTime first_issue = 0;
+    SimTime last_done = 0;
+  };
+  [[nodiscard]] const std::vector<Round>& rounds() const noexcept {
+    return rounds_;
+  }
+
+ private:
+  friend class Engine;
+
+  Schedule sched_;
+  std::vector<std::byte> scratch_;   // token/sink bytes (barrier)
+  std::vector<double> scratch_d_;    // reduce inboxes
+  std::vector<Round> rounds_;
+  std::uint32_t remaining_ = 0;
+  bool done_ = false;
+  std::optional<piom::Cond> cond_;
+  Algo algo_ = Algo::kAuto;
+  SimTime issued_at_ = 0;
+};
+
+/// Per-rank collective engine on top of one nm::Core.  Registers a poll
+/// source with the core's PIOMan server so idle cores drain ready DAG ops;
+/// in app-driven mode the wait path drains instead (and, true to the
+/// baseline, nothing progresses while the caller computes).
+class Engine {
+ public:
+  /// `world` is the communicator size; the rank is core.node_id().
+  /// Reads PM2_COLL_ALGO ("auto", "ring", "rd", "binomial", "pipeline",
+  /// "linear") as an override of config().coll_algo.
+  Engine(Core& core, unsigned world);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] unsigned rank() const noexcept { return core_.node_id(); }
+  [[nodiscard]] unsigned world() const noexcept { return world_; }
+  [[nodiscard]] Core& core() noexcept { return core_; }
+
+  // ---- nonblocking collectives ----
+  //
+  // All ranks must call the same collectives in the same order with
+  // consistent sizes/roots/algos.  Buffers must stay valid until the
+  // request completes.  Multiple collectives may be in flight at once.
+
+  [[nodiscard]] CollRequest* ibarrier();
+  [[nodiscard]] CollRequest* ibcast(std::span<std::byte> buffer, int root,
+                                    Algo algo = Algo::kAuto);
+  [[nodiscard]] CollRequest* iallreduce_sum(std::span<double> data,
+                                            Algo algo = Algo::kAuto);
+  [[nodiscard]] CollRequest* igather(std::span<const std::byte> send,
+                                     std::span<std::byte> recv, int root);
+  [[nodiscard]] CollRequest* iscatter(std::span<const std::byte> send,
+                                      std::span<std::byte> recv, int root);
+  [[nodiscard]] CollRequest* iallgather(std::span<const std::byte> send,
+                                        std::span<std::byte> recv);
+  [[nodiscard]] CollRequest* ialltoall(std::span<const std::byte> send,
+                                       std::span<std::byte> recv,
+                                       std::size_t block);
+
+  /// Block until `req` completes, then recycle it.  In PIOMan mode the
+  /// waiter participates in polling (so a wait never stalls the DAG); in
+  /// app-driven mode the waiter performs the whole execution itself.
+  void wait(CollRequest* req);
+
+  /// Non-blocking completion check; true recycles the request.
+  [[nodiscard]] bool test(CollRequest* req);
+
+  /// The algorithm the autotuner would pick (after the config/env forcing
+  /// is applied) — exposed for benchmarks and tests.
+  [[nodiscard]] Algo choose_bcast(std::size_t bytes) const noexcept;
+  [[nodiscard]] Algo choose_allreduce(std::size_t bytes) const noexcept;
+
+  struct Stats {
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ops_executed = 0;
+    std::uint64_t ops_send = 0;
+    std::uint64_t ops_recv = 0;
+    std::uint64_t ops_reduce = 0;
+    std::uint64_t ops_copy = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_reduced = 0;
+    std::uint64_t algo_dissemination = 0;
+    std::uint64_t algo_binomial = 0;
+    std::uint64_t algo_binomial_pipeline = 0;
+    std::uint64_t algo_ring = 0;
+    std::uint64_t algo_recursive_doubling = 0;
+    std::uint64_t algo_linear = 0;
+    std::uint64_t tag_blocks = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Bind every counter above into `registry` under `prefix` (e.g.
+  /// "node0/coll"), following the subsystem convention.
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
+
+ private:
+  // -- request pooling --
+  CollRequest* acquire(Algo algo);
+  void release(CollRequest* req);
+
+  // -- executor --
+  void launch(CollRequest* req);
+  bool drain();
+  void execute(CollRequest* req, std::uint32_t idx);
+  void op_done(CollRequest* req, std::uint32_t idx);
+  void finish(CollRequest* req);
+  void charge_local(std::size_t bytes);
+
+  // -- schedule compilers (algorithms.cpp) --
+  void build_barrier(CollRequest& cr);
+  void build_bcast(CollRequest& cr, std::span<std::byte> buffer, int root,
+                   std::size_t chunks);
+  void build_allreduce_ring(CollRequest& cr, std::span<double> data);
+  void build_allreduce_rd(CollRequest& cr, std::span<double> data);
+  void build_gather(CollRequest& cr, std::span<const std::byte> send,
+                    std::span<std::byte> recv, int root);
+  void build_scatter(CollRequest& cr, std::span<const std::byte> send,
+                     std::span<std::byte> recv, int root);
+  void build_allgather(CollRequest& cr, std::span<const std::byte> send,
+                       std::span<std::byte> recv);
+  void build_alltoall(CollRequest& cr, std::span<const std::byte> send,
+                      std::span<std::byte> recv, std::size_t block);
+
+  /// Tag-block reservation for one schedule (counted for telemetry).
+  [[nodiscard]] Tag alloc_tags(std::uint32_t count);
+
+  /// Chunk count for `bytes` under the pipelining granularity.
+  [[nodiscard]] std::uint32_t chunk_count(std::size_t bytes) const noexcept;
+
+  Core& core_;
+  unsigned world_;
+  Algo forced_;  // config/env override (kAuto = autotune per operation)
+
+  // The drain ltask exists only while collectives are in flight — every
+  // registered ltask is charged per poll round, and a dormant engine must
+  // be free for unrelated traffic.
+  unsigned inflight_ = 0;
+  int ltask_id_ = 0;
+
+  std::deque<std::pair<CollRequest*, std::uint32_t>> ready_;
+  std::deque<std::unique_ptr<CollRequest>> pool_;
+  std::vector<CollRequest*> freelist_;
+  Stats stats_;
+};
+
+}  // namespace pm2::nm::coll

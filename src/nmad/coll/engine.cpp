@@ -1,0 +1,400 @@
+// Schedule-DAG executor: launches a compiled collective, then lets engine
+// completion events carry it — each finished send/recv marks its DAG
+// successors ready, and the engine's PIOMan poll source (run by idle
+// cores, tasklets or waiters) issues them.  The caller's only inline work
+// is the initial dependency-free wave.
+#include "nmad/coll/coll.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "marcel/cpu.hpp"
+
+namespace pm2::nm::coll {
+
+// ------------------------------------------------------------- Schedule
+
+std::uint32_t Schedule::send(unsigned peer, Tag tag,
+                             std::span<const std::byte> data,
+                             std::uint16_t round) {
+  Op op;
+  op.kind = Op::Kind::kSend;
+  op.peer = peer;
+  op.tag = tag;
+  op.src = data;
+  op.round = round;
+  ops.push_back(std::move(op));
+  return static_cast<std::uint32_t>(ops.size() - 1);
+}
+
+std::uint32_t Schedule::recv(unsigned peer, Tag tag,
+                             std::span<std::byte> buffer,
+                             std::uint16_t round) {
+  Op op;
+  op.kind = Op::Kind::kRecv;
+  op.peer = peer;
+  op.tag = tag;
+  op.dst = buffer;
+  op.round = round;
+  ops.push_back(std::move(op));
+  return static_cast<std::uint32_t>(ops.size() - 1);
+}
+
+std::uint32_t Schedule::reduce(std::span<double> acc,
+                               std::span<const double> addend,
+                               std::uint16_t round) {
+  PM2_ASSERT(acc.size() == addend.size());
+  Op op;
+  op.kind = Op::Kind::kReduce;
+  op.red_dst = acc;
+  op.red_src = addend;
+  op.round = round;
+  ops.push_back(std::move(op));
+  return static_cast<std::uint32_t>(ops.size() - 1);
+}
+
+std::uint32_t Schedule::copy(std::span<std::byte> dst,
+                             std::span<const std::byte> src,
+                             std::uint16_t round) {
+  PM2_ASSERT(dst.size() >= src.size());
+  Op op;
+  op.kind = Op::Kind::kCopy;
+  op.dst = dst;
+  op.src = src;
+  op.round = round;
+  ops.push_back(std::move(op));
+  return static_cast<std::uint32_t>(ops.size() - 1);
+}
+
+void Schedule::dep(std::uint32_t before, std::uint32_t after) {
+  PM2_ASSERT(before < ops.size() && after < ops.size() && before != after);
+  ops[before].out.push_back(after);
+  ++ops[after].deps;
+}
+
+// ------------------------------------------------------- Engine lifecycle
+
+Engine::Engine(Core& core, unsigned world)
+    : core_(core), world_(world), forced_(core.config().coll_algo) {
+  PM2_ASSERT(world_ >= 1);
+  if (const char* env = std::getenv("PM2_COLL_ALGO");
+      env != nullptr && *env != '\0') {
+    const std::string_view v(env);
+    if (v == "auto") {
+      forced_ = Algo::kAuto;
+    } else if (v == "ring") {
+      forced_ = Algo::kRing;
+    } else if (v == "rd") {
+      forced_ = Algo::kRecursiveDoubling;
+    } else if (v == "binomial") {
+      forced_ = Algo::kBinomial;
+    } else if (v == "pipeline") {
+      forced_ = Algo::kBinomialPipeline;
+    } else if (v == "linear") {
+      forced_ = Algo::kLinear;
+    } else {
+      PM2_WARN("PM2_COLL_ALGO=%s not recognised; keeping config value", env);
+    }
+  }
+}
+
+Engine::~Engine() {
+  PM2_ASSERT_MSG(ready_.empty() && inflight_ == 0,
+                 "collective engine destroyed mid-schedule");
+}
+
+// ------------------------------------------------------- request pooling
+
+CollRequest* Engine::acquire(Algo algo) {
+  CollRequest* cr;
+  if (!freelist_.empty()) {
+    cr = freelist_.back();
+    freelist_.pop_back();
+  } else {
+    pool_.push_back(std::make_unique<CollRequest>());
+    cr = pool_.back().get();
+  }
+  cr->sched_.ops.clear();
+  cr->scratch_.clear();
+  cr->scratch_d_.clear();
+  cr->rounds_.clear();
+  cr->remaining_ = 0;
+  cr->done_ = false;
+  cr->algo_ = algo;
+  if (core_.server() != nullptr) {
+    if (cr->cond_.has_value()) {
+      cr->cond_->reset();
+    } else {
+      cr->cond_.emplace(*core_.server());
+    }
+  }
+  return cr;
+}
+
+void Engine::release(CollRequest* cr) {
+  PM2_ASSERT(cr != nullptr && cr->done_);
+  freelist_.push_back(cr);
+}
+
+// ------------------------------------------------------------- executor
+
+void Engine::launch(CollRequest* cr) {
+  ++stats_.started;
+  cr->issued_at_ = core_.fabric().engine().now();
+  cr->remaining_ = static_cast<std::uint32_t>(cr->sched_.ops.size());
+  piom::Server* server = core_.server();
+  if (server != nullptr) {
+    // The drain ltask is registered only while collectives are in flight:
+    // every registered ltask is charged ltask_poll_cost on every poll
+    // round, and a dormant engine must not tax unrelated point-to-point
+    // traffic (launch always runs on an application thread, so this never
+    // mutates the ltask list from inside a poll round).
+    if (inflight_++ == 0) {
+      ltask_id_ = server->register_ltask(
+          [this](marcel::Cpu&) { return drain(); });
+    }
+    server->arm();
+  }
+  if (cr->remaining_ == 0) {
+    finish(cr);
+    return;
+  }
+  std::uint32_t roots = 0;
+  for (std::uint32_t i = 0; i < cr->sched_.ops.size(); ++i) {
+    if (cr->sched_.ops[i].deps == 0) {
+      ready_.emplace_back(cr, i);
+      ++roots;
+    }
+  }
+  PM2_ASSERT_MSG(roots > 0, "schedule DAG has a dependency cycle");
+  // Issue the dependency-free wave inline (the caller holds a CPU anyway);
+  // everything after this is carried by completion events.
+  drain();
+}
+
+bool Engine::drain() {
+  // Pop-before-execute hands each op to exactly one fiber: execute() can
+  // suspend (CPU charges, offloaded submissions), during which other
+  // fibers run this same loop concurrently.
+  bool any = false;
+  while (!ready_.empty()) {
+    const auto [cr, idx] = ready_.front();
+    ready_.pop_front();
+    execute(cr, idx);
+    any = true;
+  }
+  return any;
+}
+
+void Engine::execute(CollRequest* cr, std::uint32_t idx) {
+  // `ops` is never resized after launch, so the reference survives the
+  // suspension points below.
+  Op& op = cr->sched_.ops[idx];
+  CollRequest::Round& round = cr->rounds_[op.round];
+  if (round.first_issue == 0) {
+    round.first_issue = core_.fabric().engine().now();
+  }
+  ++stats_.ops_executed;
+  switch (op.kind) {
+    case Op::Kind::kSend: {
+      ++stats_.ops_send;
+      stats_.bytes_sent += op.src.size();
+      Request* req = core_.isend(op.peer, op.tag, op.src);
+      core_.set_continuation(req, [this, cr, idx] { op_done(cr, idx); });
+      break;
+    }
+    case Op::Kind::kRecv: {
+      ++stats_.ops_recv;
+      Request* req = core_.irecv(op.peer, op.tag, op.dst);
+      core_.set_continuation(req, [this, cr, idx] { op_done(cr, idx); });
+      break;
+    }
+    case Op::Kind::kReduce: {
+      ++stats_.ops_reduce;
+      const std::size_t bytes = op.red_src.size() * sizeof(double);
+      stats_.bytes_reduced += bytes;
+      charge_local(bytes);
+      for (std::size_t i = 0; i < op.red_src.size(); ++i) {
+        op.red_dst[i] += op.red_src[i];
+      }
+      op_done(cr, idx);
+      break;
+    }
+    case Op::Kind::kCopy: {
+      ++stats_.ops_copy;
+      charge_local(op.src.size());
+      if (!op.src.empty()) {
+        std::memcpy(op.dst.data(), op.src.data(), op.src.size());
+      }
+      op_done(cr, idx);
+      break;
+    }
+  }
+}
+
+void Engine::op_done(CollRequest* cr, std::uint32_t idx) {
+  // Runs in whatever context completed the op — possibly raw engine
+  // context with no current CPU — so it must neither block nor charge:
+  // it only marks dependents ready and kicks idle cores to execute them.
+  const Op& op = cr->sched_.ops[idx];
+  cr->rounds_[op.round].last_done = core_.fabric().engine().now();
+  bool newly_ready = false;
+  for (const std::uint32_t succ : op.out) {
+    Op& next = cr->sched_.ops[succ];
+    PM2_ASSERT(next.deps > 0);
+    if (--next.deps == 0) {
+      ready_.emplace_back(cr, succ);
+      newly_ready = true;
+    }
+  }
+  PM2_ASSERT(cr->remaining_ > 0);
+  if (--cr->remaining_ == 0) {
+    finish(cr);
+  } else if (newly_ready && core_.server() != nullptr) {
+    core_.server()->notify_work();
+  }
+}
+
+void Engine::finish(CollRequest* cr) {
+  PM2_ASSERT(!cr->done_);
+  cr->done_ = true;
+  ++stats_.completed;
+  if (piom::Server* server = core_.server(); server != nullptr) {
+    server->disarm();
+    // May run from inside our own drain ltask (inline reduce/copy chains)
+    // or a core poll round; unregister tombstones mid-round, so this is
+    // safe from any completion context.
+    PM2_ASSERT(inflight_ > 0);
+    if (--inflight_ == 0) server->unregister_ltask(ltask_id_);
+    cr->cond_->signal();
+  }
+}
+
+void Engine::charge_local(std::size_t bytes) {
+  const double ns =
+      core_.config().copy_ns_per_byte * static_cast<double>(bytes);
+  if (ns >= 1.0) {
+    marcel::this_thread::compute(static_cast<SimDuration>(ns));
+  }
+}
+
+// ------------------------------------------------------------ completion
+
+void Engine::wait(CollRequest* cr) {
+  PM2_ASSERT(cr != nullptr);
+  if (core_.server() != nullptr) {
+    // The waiter participates in polling, which includes this engine's
+    // drain ltask — a wait can never stall the DAG it waits on.
+    cr->cond_->wait();
+  } else {
+    // App-driven baseline: the caller performs the whole execution.
+    while (!cr->done_) {
+      marcel::Cpu& cpu = marcel::this_thread::cpu();
+      const bool drained = drain();
+      const bool progressed = core_.progress(cpu);
+      if (!cr->done_ && !drained && !progressed &&
+          core_.config().app_poll_gap > 0) {
+        marcel::this_thread::compute(core_.config().app_poll_gap);
+      }
+    }
+  }
+  release(cr);
+}
+
+bool Engine::test(CollRequest* cr) {
+  PM2_ASSERT(cr != nullptr);
+  if (!cr->done_) {
+    marcel::Cpu& cpu = marcel::this_thread::cpu();
+    if (piom::Server* server = core_.server(); server != nullptr) {
+      if (server->posted_pending() > 0) server->flush_posted();
+      server->poll_round(cpu);
+    } else {
+      drain();
+      core_.progress(cpu);
+    }
+  }
+  if (cr->done_) {
+    release(cr);
+    return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- autotuner
+
+Algo Engine::choose_bcast(std::size_t bytes) const noexcept {
+  if (forced_ == Algo::kBinomial || forced_ == Algo::kBinomialPipeline) {
+    return forced_;
+  }
+  return bytes > core_.config().coll_chunk_bytes ? Algo::kBinomialPipeline
+                                                 : Algo::kBinomial;
+}
+
+Algo Engine::choose_allreduce(std::size_t bytes) const noexcept {
+  if (forced_ == Algo::kRing || forced_ == Algo::kRecursiveDoubling) {
+    return forced_;
+  }
+  // Tiny payloads: recursive doubling, ⌈log2 n⌉ rounds beat the ring's
+  // 2(n-1) steps when latency dominates.  Mid sizes: the ring, whose
+  // per-step blocks (bytes/n) sit comfortably inside the eager protocol,
+  // so its bandwidth optimality materialises as cheap streamed steps.
+  // Once a block nears the rendezvous threshold, each of the 2(n-1)
+  // steps pays a heavyweight transfer and the chunk-pipelined recursive
+  // doubling wins despite moving more bytes — measured, not textbook
+  // (at the boundary block size the ring already loses 3x at n=8): see
+  // bench/collectives.
+  if (bytes <= core_.config().coll_rd_max_bytes) {
+    return Algo::kRecursiveDoubling;
+  }
+  const std::size_t block = (bytes + world_ - 1) / std::max(world_, 1u);
+  return block * 2 <= core_.config().rdv_threshold ? Algo::kRing
+                                                   : Algo::kRecursiveDoubling;
+}
+
+// ----------------------------------------------------------------- misc
+
+Tag Engine::alloc_tags(std::uint32_t count) {
+  ++stats_.tag_blocks;
+  return core_.alloc_coll_tags(count);
+}
+
+std::uint32_t Engine::chunk_count(std::size_t bytes) const noexcept {
+  if (bytes == 0) return 0;
+  const std::size_t chunk =
+      std::max<std::size_t>(1, core_.config().coll_chunk_bytes);
+  return static_cast<std::uint32_t>((bytes + chunk - 1) / chunk);
+}
+
+void Engine::bind_metrics(MetricsRegistry& registry,
+                          std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/started", &stats_.started);
+  registry.bind_counter(p + "/completed", &stats_.completed);
+  registry.bind_counter(p + "/ops_executed", &stats_.ops_executed);
+  registry.bind_counter(p + "/ops_send", &stats_.ops_send);
+  registry.bind_counter(p + "/ops_recv", &stats_.ops_recv);
+  registry.bind_counter(p + "/ops_reduce", &stats_.ops_reduce);
+  registry.bind_counter(p + "/ops_copy", &stats_.ops_copy);
+  registry.bind_counter(p + "/bytes_sent", &stats_.bytes_sent);
+  registry.bind_counter(p + "/bytes_reduced", &stats_.bytes_reduced);
+  registry.bind_counter(p + "/algo/dissemination", &stats_.algo_dissemination);
+  registry.bind_counter(p + "/algo/binomial", &stats_.algo_binomial);
+  registry.bind_counter(p + "/algo/binomial_pipeline",
+                        &stats_.algo_binomial_pipeline);
+  registry.bind_counter(p + "/algo/ring", &stats_.algo_ring);
+  registry.bind_counter(p + "/algo/recursive_doubling",
+                        &stats_.algo_recursive_doubling);
+  registry.bind_counter(p + "/algo/linear", &stats_.algo_linear);
+  registry.bind_counter(p + "/tag_blocks", &stats_.tag_blocks);
+  registry.bind_gauge(p + "/tags_used", [core = &core_] {
+    return static_cast<double>(core->coll_tags_used());
+  });
+}
+
+}  // namespace pm2::nm::coll

@@ -27,6 +27,20 @@ enum class StrategyKind : std::uint8_t {
   kMultirail,  // stripe large transfers across all rails
 };
 
+/// Collective algorithm selector (nmad/coll).  kAuto lets the engine's
+/// size/world-count autotuner pick; the PM2_COLL_ALGO environment variable
+/// ("auto", "ring", "rd", "binomial", "pipeline", "linear") overrides the
+/// config field when a coll::Engine is created.
+enum class CollAlgo : std::uint8_t {
+  kAuto,
+  kDissemination,      // ibarrier (the only barrier algorithm)
+  kBinomial,           // ibcast: plain binomial tree
+  kBinomialPipeline,   // ibcast: binomial tree, chunk-pipelined
+  kRing,               // iallreduce: reduce-scatter + allgather
+  kRecursiveDoubling,  // iallreduce: log2(n) full-vector exchanges
+  kLinear,             // gather/scatter/alltoall flat fan
+};
+
 struct Config {
   ProgressMode mode = ProgressMode::kPioman;
   StrategyKind strategy = StrategyKind::kFifo;
@@ -86,6 +100,24 @@ struct Config {
   /// honours a PM2_FAULT_SEED environment override so lossy CLI/bench
   /// runs are reproducible without recompiling.
   std::uint64_t fault_seed = 0x5eed;
+
+  // ---- nonblocking collective engine (nmad/coll) ----
+
+  /// Forced collective algorithm; kAuto = the engine's autotuner decides
+  /// per operation from message size and world count.
+  CollAlgo coll_algo = CollAlgo::kAuto;
+
+  /// Pipelining granularity: schedule DAGs cut payloads into chunks of at
+  /// most this many bytes so large operations stream through the
+  /// rendezvous path instead of serializing round by round.
+  std::size_t coll_chunk_bytes = 64 * 1024;
+
+  /// Autotuner: iallreduce payloads at or below this size use recursive
+  /// doubling (latency-bound regime).  Above it the ring is picked while
+  /// its per-step blocks (payload/n) stay eager; once a block would go
+  /// rendezvous, every ring step pays a handshake round-trip and the
+  /// chunk-pipelined recursive doubling wins again (bench/collectives).
+  std::size_t coll_rd_max_bytes = 16 * 1024;
 };
 
 }  // namespace pm2::nm

@@ -114,6 +114,7 @@ Request* Core::acquire() {
   req->parts_left = 0;
   req->critical = false;
   req->done = false;
+  req->on_complete = nullptr;
   req->flight_on = false;
   if (server_ != nullptr) {
     if (req->cond.has_value()) {
@@ -153,6 +154,16 @@ void Core::complete(Request& req) {
       server_->disarm_critical();
     }
     server_->disarm();
+  }
+  if (req.on_complete) {
+    // Continuation-driven request (collective engine): nobody will wait(),
+    // so recycle here, then run the continuation.  Every complete() call
+    // site is done touching the request at this point, and releasing first
+    // lets the continuation's own isend/irecv reuse the slot.
+    std::function<void()> fn = std::move(req.on_complete);
+    req.on_complete = nullptr;
+    release(&req);
+    fn();
   }
 }
 
@@ -330,6 +341,30 @@ Status Core::wait_for(Request* req, SimDuration timeout) {
   flight_stamp(*req, Stage::kWoken);
   release(req);
   return Status::kOk;
+}
+
+void Core::set_continuation(Request* req, std::function<void()> fn) {
+  PM2_ASSERT(req != nullptr && fn != nullptr);
+  PM2_ASSERT_MSG(req->state != Request::State::kFree,
+                 "continuation on a recycled request");
+  if (req->done) {
+    // Completed inline (unexpected eager match, tiny inline-flushed send)
+    // before the continuation could be attached: fire it now.
+    release(req);
+    fn();
+    return;
+  }
+  req->on_complete = std::move(fn);
+}
+
+Tag Core::alloc_coll_tags(std::uint32_t count) {
+  PM2_ASSERT(count > 0);
+  const std::uint64_t base = kCollTagBase + coll_tag_cursor_;
+  PM2_ASSERT_MSG(base + count <= (1ull << 32),
+                 "collective tag band exhausted (wrap would collide with "
+                 "in-flight collectives)");
+  coll_tag_cursor_ += count;
+  return static_cast<Tag>(base);
 }
 
 bool Core::probe(unsigned src, Tag tag) const {

@@ -90,6 +90,34 @@ class Core {
   /// buffered — an irecv would complete without waiting.  Non-consuming.
   [[nodiscard]] bool probe(unsigned src, Tag tag) const;
 
+  /// Attach a continuation to `req` instead of wait()ing on it: `fn` runs
+  /// exactly once when the request completes — possibly immediately, if it
+  /// already has — and the request is recycled right before `fn` executes
+  /// (the pointer must not be used afterwards).  Completion contexts
+  /// include poll fibers, tasklets and raw engine context (no current
+  /// CPU), so `fn` must neither block nor charge CPU time; defer real work
+  /// to a poll source.  This is the primitive the collective engine's
+  /// schedule DAGs are driven by.
+  void set_continuation(Request* req, std::function<void()> fn);
+
+  // ---------------- collective tag band ----------------
+
+  /// Tags at or above this value are reserved for the collective engine;
+  /// user-facing layers must stay below (see mpi::Comm::kUserTagLimit).
+  static constexpr Tag kCollTagBase = 1u << 24;
+
+  /// Reserve `count` consecutive tags from the collective band.  Every
+  /// rank allocates blocks in the same order with the same sizes (MPI
+  /// collective-ordering semantics), so the cursors advance in lockstep
+  /// across the world.  Asserts instead of wrapping: silent reuse of live
+  /// tags once the band is exhausted would corrupt matching.
+  [[nodiscard]] Tag alloc_coll_tags(std::uint32_t count);
+
+  /// Tags consumed from the collective band so far (wrap-guard telemetry).
+  [[nodiscard]] std::uint64_t coll_tags_used() const noexcept {
+    return coll_tag_cursor_;
+  }
+
   /// One progression round: drain NIC events, advance protocol state.
   /// Returns true if anything happened.  Exposed for PIOMan's ltask and
   /// for baseline wait loops.
@@ -236,6 +264,7 @@ class Core {
   std::map<std::uint64_t, Request*> rdv_sends_;   // rdv id -> send request
   std::map<std::uint64_t, Request*> rdma_recvs_;  // handle -> recv request
   std::uint64_t next_rdv_ = 1;
+  std::uint64_t coll_tag_cursor_ = 0;  // next unused offset into the band
 
   int ltask_id_ = 0;
 

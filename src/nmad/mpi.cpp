@@ -1,233 +1,47 @@
+// Blocking collectives = wait(icoll(...)) on the schedule-DAG engine.
+// The algorithms themselves live in nmad/coll/algorithms.cpp; this file
+// only adapts the blocking call signatures.
 #include "nmad/mpi.hpp"
 
-#include <algorithm>
-#include <cstring>
-
-#include "common/assert.hpp"
-
 namespace pm2::mpi {
-namespace {
 
-std::span<const std::byte> chunk_bytes(std::span<const double> v,
-                                       std::size_t lo, std::size_t n) {
-  return std::as_bytes(v.subspan(lo, n));
-}
-std::span<std::byte> chunk_writable(std::span<double> v, std::size_t lo,
-                                    std::size_t n) {
-  return std::as_writable_bytes(v.subspan(lo, n));
-}
-
-}  // namespace
-
-void Comm::barrier() {
-  const nm::Tag tag = next_coll_tag();
-  const int n = size();
-  if (n == 1) return;
-  std::byte token{0xbb};
-  std::byte sink{};
-  // Dissemination: after round k every rank has heard (transitively) from
-  // 2^(k+1) ranks; ⌈log2 n⌉ rounds synchronize everyone.
-  for (int dist = 1; dist < n; dist <<= 1) {
-    const int dst = (rank() + dist) % n;
-    const int src = (rank() - dist % n + n) % n;
-    nm::Request* r = irecv_raw(src, tag, {&sink, 1});
-    nm::Request* s = isend_raw(dst, tag, {&token, 1});
-    core_->wait(r);
-    core_->wait(s);
-  }
-}
+void Comm::barrier() { coll_->wait(coll_->ibarrier()); }
 
 void Comm::bcast(std::span<std::byte> buffer, int root) {
-  const nm::Tag tag = next_coll_tag();
-  const int n = size();
-  if (n == 1) return;
-  PM2_ASSERT(root >= 0 && root < n);
-  const int vrank = (rank() - root + n) % n;
-
-  // Receive from the binomial parent (non-root only).
-  int mask = 1;
-  while (mask < n) {
-    if (vrank & mask) {
-      const int src = (vrank - mask + root) % n;
-      core_->wait(irecv_raw(src, tag, buffer));
-      break;
-    }
-    mask <<= 1;
-  }
-  // Forward to binomial children.
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < n && (vrank & (mask - 1)) == 0 &&
-        (vrank & mask) == 0) {
-      const int dst = (vrank + mask + root) % n;
-      core_->wait(isend_raw(dst, tag, buffer));
-    }
-    mask >>= 1;
-  }
+  coll_->wait(coll_->ibcast(buffer, root));
 }
 
 void Comm::allreduce_sum(std::span<double> data) {
-  const nm::Tag tag = next_coll_tag();
-  const unsigned n = size_;
-  if (n == 1) return;
-  const std::size_t total = data.size();
-  // Chunk boundaries: chunk c covers [ofs[c], ofs[c+1]).
-  std::vector<std::size_t> ofs(n + 1);
-  for (unsigned c = 0; c <= n; ++c) ofs[c] = total * c / n;
-  const std::size_t max_chunk = total / n + 1;
-  std::vector<double> inbox(max_chunk);
-
-  const unsigned right = (static_cast<unsigned>(rank()) + 1) % n;
-  const unsigned left = (static_cast<unsigned>(rank()) + n - 1) % n;
-  const auto me = static_cast<unsigned>(rank());
-
-  // Phase 1: reduce-scatter.
-  for (unsigned s = 0; s + 1 < n; ++s) {
-    const unsigned send_c = (me + n - s) % n;
-    const unsigned recv_c = (me + n - s - 1) % n;
-    const std::size_t rlen = ofs[recv_c + 1] - ofs[recv_c];
-    nm::Request* rr = irecv_raw(
-        static_cast<int>(left), tag,
-        std::as_writable_bytes(std::span<double>(inbox).first(rlen)));
-    nm::Request* sr = isend_raw(
-        static_cast<int>(right), tag,
-        chunk_bytes(data, ofs[send_c], ofs[send_c + 1] - ofs[send_c]));
-    core_->wait(rr);
-    for (std::size_t i = 0; i < rlen; ++i) data[ofs[recv_c] + i] += inbox[i];
-    core_->wait(sr);
-  }
-  // Phase 2: all-gather of the fully reduced chunks.
-  for (unsigned s = 0; s + 1 < n; ++s) {
-    const unsigned send_c = (me + 1 + n - s) % n;
-    const unsigned recv_c = (me + n - s) % n;
-    nm::Request* rr = irecv_raw(
-        static_cast<int>(left), tag,
-        chunk_writable(data, ofs[recv_c], ofs[recv_c + 1] - ofs[recv_c]));
-    nm::Request* sr = isend_raw(
-        static_cast<int>(right), tag,
-        chunk_bytes(data, ofs[send_c], ofs[send_c + 1] - ofs[send_c]));
-    core_->wait(rr);
-    core_->wait(sr);
-  }
+  coll_->wait(coll_->iallreduce_sum(data));
 }
 
 void Comm::gather(std::span<const std::byte> send, std::span<std::byte> recv,
                   int root) {
-  const nm::Tag tag = next_coll_tag();
-  const int n = size();
-  if (rank() == root) {
-    PM2_ASSERT_MSG(recv.size() >= send.size() * static_cast<std::size_t>(n),
-                   "gather root buffer too small");
-    std::vector<nm::Request*> reqs;
-    reqs.reserve(n - 1);
-    for (int r = 0; r < n; ++r) {
-      auto slot = recv.subspan(static_cast<std::size_t>(r) * send.size(),
-                               send.size());
-      if (r == rank()) {
-        std::memcpy(slot.data(), send.data(), send.size());
-      } else {
-        reqs.push_back(irecv_raw(r, tag, slot));
-      }
-    }
-    for (nm::Request* r : reqs) core_->wait(r);
-  } else {
-    core_->wait(isend_raw(root, tag, send));
-  }
+  coll_->wait(coll_->igather(send, recv, root));
 }
 
-void Comm::scatter(std::span<const std::byte> send,
-                   std::span<std::byte> recv, int root) {
-  const nm::Tag tag = next_coll_tag();
-  const int n = size();
-  if (rank() == root) {
-    PM2_ASSERT_MSG(send.size() >= recv.size() * static_cast<std::size_t>(n),
-                   "scatter root buffer too small");
-    std::vector<nm::Request*> reqs;
-    reqs.reserve(n - 1);
-    for (int r = 0; r < n; ++r) {
-      const auto slice = send.subspan(
-          static_cast<std::size_t>(r) * recv.size(), recv.size());
-      if (r == rank()) {
-        std::memcpy(recv.data(), slice.data(), slice.size());
-      } else {
-        reqs.push_back(isend_raw(r, tag, slice));
-      }
-    }
-    for (nm::Request* r : reqs) core_->wait(r);
-  } else {
-    core_->wait(irecv_raw(root, tag, recv));
-  }
+void Comm::scatter(std::span<const std::byte> send, std::span<std::byte> recv,
+                   int root) {
+  coll_->wait(coll_->iscatter(send, recv, root));
 }
 
 void Comm::allgather(std::span<const std::byte> send,
                      std::span<std::byte> recv) {
-  const nm::Tag tag = next_coll_tag();
-  const unsigned n = size_;
-  const std::size_t block = send.size();
-  PM2_ASSERT_MSG(recv.size() >= block * n, "allgather buffer too small");
-  const auto me = static_cast<unsigned>(rank());
-  std::memcpy(recv.data() + me * block, send.data(), block);
-  if (n == 1) return;
-  const unsigned right = (me + 1) % n;
-  const unsigned left = (me + n - 1) % n;
-  // Ring: step s forwards the block that originated at (me - s).
-  for (unsigned s = 0; s + 1 < n; ++s) {
-    const unsigned out_block = (me + n - s) % n;
-    const unsigned in_block = (me + n - s - 1) % n;
-    nm::Request* rr = irecv_raw(
-        static_cast<int>(left), tag,
-        recv.subspan(in_block * block, block));
-    nm::Request* sr = isend_raw(
-        static_cast<int>(right), tag,
-        std::span<const std::byte>(recv).subspan(out_block * block, block));
-    core_->wait(rr);
-    core_->wait(sr);
-  }
+  coll_->wait(coll_->iallgather(send, recv));
 }
 
 void Comm::reduce_sum(std::span<double> data, int root) {
-  const nm::Tag tag = next_coll_tag();
-  const int n = size();
-  if (n == 1) return;
-  // Binomial reduction tree mirrored on the bcast: children send partial
-  // sums towards the (virtual) rank-0 root.
-  const int vrank = (rank() - root + n) % n;
-  std::vector<double> inbox(data.size());
-  int mask = 1;
-  while (mask < n) {
-    if ((vrank & mask) != 0) {
-      const int dst = ((vrank & ~mask) + root) % n;
-      core_->wait(isend_raw(dst, tag, std::as_bytes(data)));
-      return;  // sent our partial sum up the tree; done
-    }
-    const int vsrc = vrank | mask;
-    if (vsrc < n) {
-      const int src = (vsrc + root) % n;
-      core_->wait(
-          irecv_raw(src, tag, std::as_writable_bytes(std::span(inbox))));
-      for (std::size_t i = 0; i < data.size(); ++i) data[i] += inbox[i];
-    }
-    mask <<= 1;
-  }
+  // The engine's allreduce leaves the full sum on every rank, which
+  // satisfies reduce's contract (non-root buffers are unspecified) while
+  // sharing one schedule family; a dedicated reduce tree is not worth a
+  // separate algorithm in the simulation.
+  (void)root;
+  coll_->wait(coll_->iallreduce_sum(data));
 }
 
-void Comm::alltoall(std::span<const std::byte> send,
-                    std::span<std::byte> recv, std::size_t block) {
-  const nm::Tag tag = next_coll_tag();
-  const unsigned n = size_;
-  PM2_ASSERT(send.size() >= block * n && recv.size() >= block * n);
-  const auto me = static_cast<unsigned>(rank());
-  std::memcpy(recv.data() + me * block, send.data() + me * block, block);
-  std::vector<nm::Request*> reqs;
-  reqs.reserve(2 * (n - 1));
-  for (unsigned r = 0; r < n; ++r) {
-    if (r == me) continue;
-    reqs.push_back(irecv_raw(static_cast<int>(r), tag,
-                             recv.subspan(r * block, block)));
-    reqs.push_back(isend_raw(static_cast<int>(r), tag,
-                             send.subspan(r * block, block)));
-  }
-  for (nm::Request* r : reqs) core_->wait(r);
+void Comm::alltoall(std::span<const std::byte> send, std::span<std::byte> recv,
+                    std::size_t block) {
+  coll_->wait(coll_->ialltoall(send, recv, block));
 }
 
 void Comm::sendrecv(int dst, std::span<const std::byte> send, int src,

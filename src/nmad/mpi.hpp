@@ -4,30 +4,41 @@
 //
 // One rank per simulated node (the hybrid model of §1: one MPI process per
 // node, several threads inside).  Point-to-point maps 1:1 onto nm::Core;
-// collectives are classic algorithms (dissemination barrier, binomial
-// broadcast, ring all-reduce) built on the same isend/irecv, so they
-// inherit the engine's overlap properties.
+// collectives delegate to the nonblocking collective engine (nmad/coll):
+// each blocking call is wait(icoll(...)), so the schedule-DAG algorithms,
+// the autotuner and the idle-core progression are shared with the
+// nonblocking API instead of duplicated here.
 //
 // Collectives must be called by exactly one thread per rank, in the same
 // order on every rank (MPI semantics).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <vector>
 
+#include "nmad/coll/coll.hpp"
 #include "nmad/core.hpp"
 
 namespace pm2::mpi {
 
 /// Per-rank communicator handle.  Cheap to copy around inside a rank's
-/// threads; owns only a pointer to the rank's nm::Core plus the collective
-/// sequence counter.
+/// threads; copies share the rank's collective engine.
 class Comm {
  public:
   /// `core` is the rank's NewMadeleine instance; `size` the world size.
-  Comm(nm::Core& core, unsigned size) noexcept
-      : core_(&core), size_(size) {}
+  /// This overload creates a private collective engine; prefer the
+  /// engine-sharing overload when the rank's Cluster already owns one
+  /// (Cluster::coll_ptr), so its counters land in the cluster metrics.
+  Comm(nm::Core& core, unsigned size)
+      : core_(&core),
+        size_(size),
+        coll_(std::make_shared<nm::coll::Engine>(core, size)) {}
+
+  /// Adopt an existing (shared) collective engine for this rank.
+  Comm(nm::Core& core, unsigned size,
+       std::shared_ptr<nm::coll::Engine> engine) noexcept
+      : core_(&core), size_(size), coll_(std::move(engine)) {}
 
   [[nodiscard]] int rank() const noexcept {
     return static_cast<int>(core_->node_id());
@@ -55,16 +66,34 @@ class Comm {
     wait(irecv(src, tag, buffer));
   }
 
-  // ---------------- collectives ----------------
+  // ---------------- nonblocking collectives ----------------
+  //
+  // Thin forwards to the schedule-DAG engine; coll() exposes the rest
+  // (explicit algorithm selection, stats, per-round stamps).
+
+  [[nodiscard]] nm::coll::CollRequest* ibarrier() { return coll_->ibarrier(); }
+  [[nodiscard]] nm::coll::CollRequest* ibcast(std::span<std::byte> buffer,
+                                              int root) {
+    return coll_->ibcast(buffer, root);
+  }
+  [[nodiscard]] nm::coll::CollRequest* iallreduce_sum(std::span<double> data) {
+    return coll_->iallreduce_sum(data);
+  }
+  void wait(nm::coll::CollRequest* req) { coll_->wait(req); }
+  [[nodiscard]] bool test(nm::coll::CollRequest* req) {
+    return coll_->test(req);
+  }
+
+  // ---------------- blocking collectives ----------------
 
   /// Dissemination barrier: ⌈log2(n)⌉ rounds of pairwise exchanges.
   void barrier();
 
-  /// Binomial-tree broadcast from `root`.
+  /// Binomial-tree broadcast from `root` (chunk-pipelined when large).
   void bcast(std::span<std::byte> buffer, int root);
 
-  /// Ring all-reduce (sum) over doubles: reduce-scatter + all-gather.
-  /// `data.size()` need not divide the world size.
+  /// All-reduce (sum) over doubles; the autotuner picks recursive doubling
+  /// or ring by size.  `data.size()` need not divide the world size.
   void allreduce_sum(std::span<double> data);
 
   /// Gather equal-sized contributions to `root`; `recv` must hold
@@ -98,31 +127,25 @@ class Comm {
   /// Underlying engine access (statistics etc.).
   [[nodiscard]] nm::Core& core() noexcept { return *core_; }
 
- private:
-  /// User tags live below the collective tag space.
-  static constexpr nm::Tag kUserTagLimit = 1u << 24;
-  static constexpr nm::Tag kCollectiveBase = kUserTagLimit;
+  /// The rank's collective engine (shared by all copies of this Comm).
+  [[nodiscard]] nm::coll::Engine& coll() noexcept { return *coll_; }
 
+  /// User tags live below the collective band; anything the application
+  /// passes is folded into this range.  The collective engine allocates
+  /// unique per-message tags above it with an exhaustion guard
+  /// (Core::alloc_coll_tags), so wrap-around collisions with in-flight
+  /// collectives — possible with the old 16-bit sequence counter — cannot
+  /// happen.
+  static constexpr nm::Tag kUserTagLimit = nm::Core::kCollTagBase;
+
+ private:
   [[nodiscard]] static nm::Tag user_tag(int tag) noexcept {
     return static_cast<nm::Tag>(tag) % kUserTagLimit;
-  }
-  /// Collective-internal transfers use the raw (full-range) tag.
-  nm::Request* isend_raw(int dst, nm::Tag tag,
-                         std::span<const std::byte> data) {
-    return core_->isend(static_cast<unsigned>(dst), tag, data);
-  }
-  nm::Request* irecv_raw(int src, nm::Tag tag, std::span<std::byte> buffer) {
-    return core_->irecv(static_cast<unsigned>(src), tag, buffer);
-  }
-  /// Fresh tag for one collective round; the per-rank counters advance in
-  /// lockstep because collectives are called in the same order everywhere.
-  [[nodiscard]] nm::Tag next_coll_tag() noexcept {
-    return kCollectiveBase + (coll_seq_++ & 0xffffu);
   }
 
   nm::Core* core_;
   unsigned size_;
-  std::uint32_t coll_seq_ = 0;
+  std::shared_ptr<nm::coll::Engine> coll_;
 };
 
 }  // namespace pm2::mpi

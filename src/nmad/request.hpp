@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 
@@ -56,6 +57,13 @@ struct Request {
   /// Completion flag; in PIOMan mode `cond` additionally wakes waiters.
   bool done = false;
   std::optional<piom::Cond> cond;
+
+  /// Continuation attached via Core::set_continuation: runs exactly once
+  /// from whatever context completes the request (a poll fiber, a tasklet,
+  /// or raw engine context with no current CPU), after which the request
+  /// is recycled — wait()/test() must not be called on such a request.
+  /// The continuation must not block or charge CPU time.
+  std::function<void()> on_complete;
 
   /// Lifecycle stamps, committed to the node's FlightRecorder on release.
   /// Lives by value here (not a ring-slot pointer) so a wrap of the ring

@@ -52,6 +52,11 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
         runtime_->node(i), *fabric_,
         cfg_.pioman ? servers_[i].get() : nullptr, cfg_.nm));
   }
+  colls_.reserve(cfg_.nodes);
+  for (unsigned i = 0; i < cfg_.nodes; ++i) {
+    colls_.push_back(
+        std::make_shared<nm::coll::Engine>(*cores_[i], cfg_.nodes));
+  }
   if (!cfg_.faults.empty()) {
     // A single top-level seed keeps lossy runs reproducible; the env
     // override lets CLI benches replay a schedule without recompiling.
@@ -117,6 +122,8 @@ void Cluster::bind_all_metrics() {
     }
     std::snprintf(prefix, sizeof prefix, "node%u/nm", n);
     cores_[n]->bind_metrics(metrics_, prefix);
+    std::snprintf(prefix, sizeof prefix, "node%u/coll", n);
+    colls_[n]->bind_metrics(metrics_, prefix);
     if (const nm::Reliability* rel = cores_[n]->reliability()) {
       std::snprintf(prefix, sizeof prefix, "node%u/reliable", n);
       rel->bind_metrics(metrics_, prefix);

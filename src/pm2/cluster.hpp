@@ -20,6 +20,7 @@
 #include "nmad/flight.hpp"
 #include "marcel/runtime.hpp"
 #include "netsim/fabric.hpp"
+#include "nmad/coll/coll.hpp"
 #include "nmad/core.hpp"
 #include "sim/engine.hpp"
 
@@ -84,6 +85,16 @@ class Cluster {
   [[nodiscard]] piom::Server* server(unsigned i) noexcept {
     return servers_.empty() ? nullptr : servers_[i].get();
   }
+  /// Node `i`'s nonblocking collective engine (world = all nodes).  Its
+  /// counters are bound under "nodeN/coll" in metrics().
+  [[nodiscard]] nm::coll::Engine& coll(unsigned i) noexcept {
+    return *colls_[i];
+  }
+  /// Shared ownership handle for mpi::Comm construction.
+  [[nodiscard]] std::shared_ptr<nm::coll::Engine> coll_ptr(
+      unsigned i) noexcept {
+    return colls_[i];
+  }
 
   /// Spawn an application thread on node `i`.
   marcel::Thread& run_on(unsigned i, std::function<void()> fn,
@@ -134,6 +145,9 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<piom::Server>> servers_;
   std::vector<std::unique_ptr<nm::Core>> cores_;
+  // Declared after cores_ so the engines (whose destructors unregister
+  // their poll source) die before the cores and servers they reference.
+  std::vector<std::shared_ptr<nm::coll::Engine>> colls_;
   std::vector<std::unique_ptr<nm::FlightRecorder>> flights_;
   MetricsRegistry metrics_;
   std::unique_ptr<sim::Tracer> env_tracer_;

@@ -1,0 +1,450 @@
+// Nonblocking collective engine (nmad/coll): randomized correctness of
+// every collective against scalar references — across world sizes
+// (including non-powers-of-two), non-divisible payload sizes, every
+// algorithm, both progression modes — plus overlap behaviour, concurrent
+// outstanding collectives, tag-band lockstep, and a seeded fuzz+fault
+// soak (PM2_FUZZ_SOAK_SEEDS deepens it in CI).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "nmad/coll/coll.hpp"
+#include "nmad/mpi.hpp"
+#include "pm2/cluster.hpp"
+#include "sim/schedule_fuzz.hpp"
+
+namespace pm2::nm::coll {
+namespace {
+
+using Param = std::tuple<unsigned /*nodes*/, bool /*pioman*/>;
+
+struct WorldOptions {
+  bool faults = false;          // 1% drop/dup/reorder/corrupt + reliable
+  std::uint64_t fuzz_seed = 0;  // schedule-exploration perturbation
+  std::size_t chunk_bytes = 0;  // pipelining granularity (0 = default)
+};
+
+class CollWorld : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] unsigned world() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] bool pioman() const { return std::get<1>(GetParam()); }
+
+  [[nodiscard]] ClusterConfig config(const WorldOptions& opt) const {
+    ClusterConfig cfg;
+    cfg.nodes = world();
+    cfg.cpus_per_node = 4;
+    cfg.pioman = pioman();
+    cfg.fuzz_seed = opt.fuzz_seed;
+    if (opt.chunk_bytes != 0) cfg.nm.coll_chunk_bytes = opt.chunk_bytes;
+    if (opt.faults) {
+      cfg.faults.defaults.drop = 0.01;
+      cfg.faults.defaults.duplicate = 0.01;
+      cfg.faults.defaults.reorder = 0.01;
+      cfg.faults.defaults.corrupt = 0.01;
+      cfg.nm.reliable = true;
+    }
+    return cfg;
+  }
+
+  /// Run `body(engine)` once per rank; after quiescence, check the
+  /// engine-level invariants every healthy run must satisfy.
+  template <typename Body>
+  void run_world(Body body, const WorldOptions& opt = {}) {
+    Cluster cluster(config(opt));
+    for (unsigned r = 0; r < world(); ++r) {
+      cluster.run_on(r, [&, r] { body(cluster.coll(r)); }, "rank");
+    }
+    cluster.run();
+    std::uint64_t tags0 = cluster.comm(0).coll_tags_used();
+    for (unsigned r = 0; r < world(); ++r) {
+      const Engine::Stats& st = cluster.coll(r).stats();
+      EXPECT_EQ(st.started, st.completed) << "rank " << r;
+      EXPECT_EQ(st.ops_executed,
+                st.ops_send + st.ops_recv + st.ops_reduce + st.ops_copy)
+          << "rank " << r;
+      // Tag blocks are allocated in lockstep: the band cursor must agree
+      // across the whole world after any collective sequence.
+      EXPECT_EQ(cluster.comm(r).coll_tags_used(), tags0) << "rank " << r;
+    }
+  }
+};
+
+// ------------------------------------------------------------- ibarrier
+
+TEST_P(CollWorld, BarrierRepeats) {
+  run_world([&](Engine& coll) {
+    for (int i = 0; i < 4; ++i) coll.wait(coll.ibarrier());
+  });
+}
+
+TEST_P(CollWorld, BarrierHoldsBackFastRanks) {
+  std::vector<SimTime> after(world(), 0);
+  Cluster cluster(config({}));
+  for (unsigned r = 0; r < world(); ++r) {
+    cluster.run_on(r, [&, r] {
+      marcel::this_thread::compute(r * 50 * kUs);
+      cluster.coll(r).wait(cluster.coll(r).ibarrier());
+      after[r] = cluster.now();
+    });
+  }
+  cluster.run();
+  const SimTime slowest = (world() - 1) * 50 * kUs;
+  for (unsigned r = 0; r < world(); ++r) {
+    EXPECT_GE(after[r], slowest) << "rank " << r << " left too early";
+  }
+}
+
+// --------------------------------------------------------------- ibcast
+
+TEST_P(CollWorld, BcastEveryAlgorithmEveryRoot) {
+  for (const Algo algo : {Algo::kBinomial, Algo::kBinomialPipeline}) {
+    for (unsigned root = 0; root < world(); ++root) {
+      // Odd size and a tiny chunk so the pipelined tree has many chunks.
+      constexpr std::size_t kBytes = 4099;
+      std::vector<std::vector<std::byte>> bufs(
+          world(), std::vector<std::byte>(kBytes));
+      for (std::size_t i = 0; i < kBytes; ++i) {
+        bufs[root][i] = static_cast<std::byte>((root * 31 + i) & 0xff);
+      }
+      const std::vector<std::byte> expected = bufs[root];
+      run_world(
+          [&](Engine& coll) {
+            coll.wait(coll.ibcast(bufs[coll.rank()],
+                                  static_cast<int>(root), algo));
+          },
+          {.chunk_bytes = 512});
+      for (unsigned r = 0; r < world(); ++r) {
+        EXPECT_EQ(bufs[r], expected)
+            << "rank " << r << " root " << root << " algo "
+            << static_cast<int>(algo);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- iallreduce_sum
+
+TEST_P(CollWorld, AllreduceEveryAlgorithmMatchesReference) {
+  // Non-divisible sizes; values exactly representable so any summation
+  // order gives bit-identical results.
+  for (const std::size_t elems : {1ul, 7ul, 1000ul, 4099ul}) {
+    for (const Algo algo :
+         {Algo::kRing, Algo::kRecursiveDoubling, Algo::kAuto}) {
+      std::vector<std::vector<double>> data(world(),
+                                            std::vector<double>(elems));
+      for (unsigned r = 0; r < world(); ++r) {
+        for (std::size_t i = 0; i < elems; ++i) {
+          data[r][i] =
+              static_cast<double>(r + 1) + static_cast<double>(i) * 0.5;
+        }
+      }
+      run_world(
+          [&](Engine& coll) {
+            coll.wait(coll.iallreduce_sum(data[coll.rank()], algo));
+          },
+          {.chunk_bytes = 2048});
+      const double n = world();
+      for (unsigned r = 0; r < world(); ++r) {
+        for (std::size_t i = 0; i < elems; i += 53) {
+          const double expected =
+              n * (n + 1) / 2.0 + n * static_cast<double>(i) * 0.5;
+          EXPECT_DOUBLE_EQ(data[r][i], expected)
+              << "rank " << r << " elem " << i << " elems " << elems
+              << " algo " << static_cast<int>(algo);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------- gather/scatter/allgather/alltoall
+
+TEST_P(CollWorld, GatherScatterRandomizedEveryRoot) {
+  std::mt19937 rng(0xc011u + world());
+  for (unsigned root = 0; root < world(); ++root) {
+    const std::size_t block = 1 + rng() % 300;  // ragged, often odd
+    std::vector<std::vector<std::byte>> contrib(
+        world(), std::vector<std::byte>(block));
+    std::vector<std::byte> gathered(world() * block);
+    std::vector<std::byte> source(world() * block);
+    std::vector<std::vector<std::byte>> slice(
+        world(), std::vector<std::byte>(block));
+    for (auto& v : contrib) {
+      for (auto& b : v) b = static_cast<std::byte>(rng() & 0xff);
+    }
+    for (auto& b : source) b = static_cast<std::byte>(rng() & 0xff);
+    run_world([&](Engine& coll) {
+      const unsigned me = coll.rank();
+      coll.wait(coll.igather(contrib[me], gathered,
+                             static_cast<int>(root)));
+      coll.wait(coll.iscatter(source, slice[me], static_cast<int>(root)));
+    });
+    for (unsigned r = 0; r < world(); ++r) {
+      EXPECT_TRUE(std::equal(contrib[r].begin(), contrib[r].end(),
+                             gathered.begin() + r * block))
+          << "gather slot " << r << " root " << root;
+      EXPECT_TRUE(std::equal(slice[r].begin(), slice[r].end(),
+                             source.begin() + r * block))
+          << "scatter slot " << r << " root " << root;
+    }
+  }
+}
+
+TEST_P(CollWorld, AllgatherAlltoallRandomized) {
+  std::mt19937 rng(0xa110u + world());
+  const std::size_t block = 1 + rng() % 200;
+  std::vector<std::vector<std::byte>> mine(world(),
+                                           std::vector<std::byte>(block));
+  std::vector<std::vector<std::byte>> all(
+      world(), std::vector<std::byte>(world() * block));
+  std::vector<std::vector<std::byte>> tx(
+      world(), std::vector<std::byte>(world() * block));
+  std::vector<std::vector<std::byte>> rx(
+      world(), std::vector<std::byte>(world() * block));
+  for (auto& v : mine) {
+    for (auto& b : v) b = static_cast<std::byte>(rng() & 0xff);
+  }
+  for (auto& v : tx) {
+    for (auto& b : v) b = static_cast<std::byte>(rng() & 0xff);
+  }
+  run_world([&](Engine& coll) {
+    const unsigned me = coll.rank();
+    coll.wait(coll.iallgather(mine[me], all[me]));
+    coll.wait(coll.ialltoall(tx[me], rx[me], block));
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    for (unsigned s = 0; s < world(); ++s) {
+      EXPECT_TRUE(std::equal(mine[s].begin(), mine[s].end(),
+                             all[r].begin() + s * block))
+          << "allgather rank " << r << " block " << s;
+      EXPECT_TRUE(std::equal(tx[s].begin() + r * block,
+                             tx[s].begin() + (r + 1) * block,
+                             rx[r].begin() + s * block))
+          << "alltoall rank " << r << " from " << s;
+    }
+  }
+}
+
+// ------------------------------------------------- concurrent collectives
+
+TEST_P(CollWorld, MultipleOutstandingCollectives) {
+  constexpr std::size_t kElems = 513;
+  std::vector<std::vector<double>> red(world(),
+                                       std::vector<double>(kElems, 1.0));
+  std::vector<std::vector<std::byte>> bc(world(),
+                                         std::vector<std::byte>(777));
+  for (auto& b : bc[0]) b = std::byte{0x5e};
+  run_world([&](Engine& coll) {
+    const unsigned me = coll.rank();
+    // Same launch order everywhere (the MPI rule); waits in reverse —
+    // all three schedules are in flight at once.
+    CollRequest* a = coll.ibarrier();
+    CollRequest* b = coll.iallreduce_sum(red[me]);
+    CollRequest* c = coll.ibcast(bc[me], 0);
+    coll.wait(c);
+    coll.wait(b);
+    coll.wait(a);
+  });
+  for (unsigned r = 0; r < world(); ++r) {
+    EXPECT_DOUBLE_EQ(red[r][0], static_cast<double>(world()));
+    EXPECT_DOUBLE_EQ(red[r][kElems - 1], static_cast<double>(world()));
+    EXPECT_EQ(bc[r][0], std::byte{0x5e});
+    EXPECT_EQ(bc[r][776], std::byte{0x5e});
+  }
+}
+
+TEST_P(CollWorld, TestPollsToCompletion) {
+  std::vector<int> polls(world(), 0);
+  run_world([&](Engine& coll) {
+    CollRequest* req = coll.ibarrier();
+    // Poll with a gap, as an application event loop would — a zero-work
+    // spin never yields the fiber, so virtual time could not advance.
+    while (!coll.test(req)) {
+      ++polls[coll.rank()];
+      marcel::this_thread::compute(5 * kUs);
+    }
+  });
+}
+
+// --------------------------------------------------------------- overlap
+
+TEST_P(CollWorld, PiomanOverlapsAllreduceWithCompute) {
+  if (!pioman() || world() < 2) GTEST_SKIP();
+  constexpr std::size_t kElems = 32768;  // 256 KiB: the rendezvous regime
+  constexpr int kIters = 4;
+  std::vector<std::vector<double>> data(world(),
+                                        std::vector<double>(kElems, 1.0));
+  SimDuration comm = 0;
+  SimTime total = 0;
+  Cluster cluster(config({}));
+  for (unsigned r = 0; r < world(); ++r) {
+    cluster.run_on(r, [&, r] {
+      Engine& coll = cluster.coll(r);
+      coll.wait(coll.ibarrier());
+      const SimTime t0 = cluster.now();
+      for (int i = 0; i < kIters; ++i) {
+        coll.wait(coll.iallreduce_sum(data[r]));
+      }
+      const SimTime t1 = cluster.now();
+      const SimDuration my_comm = (t1 - t0) / kIters;
+      coll.wait(coll.ibarrier());
+      const SimTime t2 = cluster.now();
+      for (int i = 0; i < kIters; ++i) {
+        CollRequest* req = coll.iallreduce_sum(data[r]);
+        marcel::this_thread::compute(my_comm);
+        coll.wait(req);
+      }
+      const SimTime t3 = cluster.now();
+      coll.wait(coll.ibarrier());
+      if (r == 0) {
+        comm = my_comm;
+        total = (t3 - t2) / kIters;
+      }
+    });
+  }
+  cluster.run();
+  // Per iteration the engine had T_comm of communication and T_comm of
+  // compute.  Zero overlap would cost 2*T_comm; require that at least a
+  // quarter of the communication hid behind the compute (the bench
+  // reports far more; the margin keeps the test robust to model tweaks).
+  EXPECT_LT(total, comm + comm - comm / 4)
+      << "comm=" << comm << "ns total=" << total << "ns";
+}
+
+// ------------------------------------------------------ fuzz + fault soak
+
+/// One mixed collective workload under a fuzzed schedule and a lossy
+/// fabric; returns a diagnostic string (empty = passed) so the soak can
+/// report the seed that broke.
+std::string soak_one(std::uint64_t seed) {
+  constexpr unsigned kNodes = 4;
+  constexpr std::size_t kElems = 96;
+  constexpr std::size_t kBlock = 24;
+  ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = true;  // lossy runs need background progression
+  cfg.fuzz_seed = seed;
+  cfg.nm.reliable = true;
+  cfg.nm.coll_chunk_bytes = 64;  // many chunks even at tiny sizes
+  cfg.faults.defaults.drop = 0.01;
+  cfg.faults.defaults.duplicate = 0.01;
+  cfg.faults.defaults.reorder = 0.01;
+  cfg.faults.defaults.corrupt = 0.01;
+  Cluster cluster(cfg);
+
+  std::vector<std::vector<double>> red(kNodes,
+                                       std::vector<double>(kElems));
+  std::vector<std::vector<std::byte>> bc(kNodes,
+                                         std::vector<std::byte>(331));
+  std::vector<std::vector<std::byte>> all(
+      kNodes, std::vector<std::byte>(kNodes * kBlock));
+  std::vector<std::vector<std::byte>> rx(
+      kNodes, std::vector<std::byte>(kNodes * kBlock));
+  std::vector<std::vector<std::byte>> tx(
+      kNodes, std::vector<std::byte>(kNodes * kBlock));
+  for (unsigned r = 0; r < kNodes; ++r) {
+    for (std::size_t i = 0; i < kElems; ++i) {
+      red[r][i] = static_cast<double>(r + 1) + static_cast<double>(i);
+    }
+    for (std::size_t i = 0; i < tx[r].size(); ++i) {
+      tx[r][i] = static_cast<std::byte>((r * 131 + i) & 0xff);
+    }
+  }
+  for (auto& b : bc[1]) b = std::byte{0xd1};
+
+  for (unsigned r = 0; r < kNodes; ++r) {
+    cluster.run_on(r, [&, r] {
+      Engine& coll = cluster.coll(r);
+      coll.wait(coll.ibarrier());
+      coll.wait(coll.iallreduce_sum(red[r], Algo::kRing));
+      coll.wait(coll.ibcast(bc[r], 1, Algo::kBinomialPipeline));
+      CollRequest* a = coll.iallgather(
+          std::span<const std::byte>(tx[r]).first(kBlock), all[r]);
+      CollRequest* b = coll.ialltoall(tx[r], rx[r], kBlock);
+      coll.wait(b);
+      coll.wait(a);
+      coll.wait(coll.iallreduce_sum(red[r], Algo::kRecursiveDoubling));
+      coll.wait(coll.ibarrier());
+    });
+  }
+  cluster.run();
+
+  std::string diag;
+  const auto fail = [&](const std::string& what) {
+    if (diag.empty()) {
+      diag = "seed " + std::to_string(seed) + ": " + what;
+    }
+  };
+  const double n = kNodes;
+  for (unsigned r = 0; r < kNodes; ++r) {
+    for (std::size_t i = 0; i < kElems; ++i) {
+      // Two all-reduces: x -> n*sum_r(...) then multiplied by n again.
+      const double once = n * (n + 1) / 2.0 + n * static_cast<double>(i);
+      if (red[r][i] != n * once) {
+        fail("allreduce mismatch at rank " + std::to_string(r));
+      }
+    }
+    for (std::size_t i = 0; i < bc[r].size(); ++i) {
+      if (bc[r][i] != std::byte{0xd1}) {
+        fail("bcast mismatch at rank " + std::to_string(r));
+      }
+    }
+    for (unsigned s = 0; s < kNodes; ++s) {
+      if (!std::equal(tx[s].begin(), tx[s].begin() + kBlock,
+                      all[r].begin() + s * kBlock)) {
+        fail("allgather mismatch at rank " + std::to_string(r));
+      }
+      if (!std::equal(tx[s].begin() + r * kBlock,
+                      tx[s].begin() + (r + 1) * kBlock,
+                      rx[r].begin() + s * kBlock)) {
+        fail("alltoall mismatch at rank " + std::to_string(r));
+      }
+    }
+    const Engine::Stats& st = cluster.coll(r).stats();
+    if (st.started != st.completed) {
+      fail("unfinished collectives on rank " + std::to_string(r));
+    }
+  }
+  if (!diag.empty() && cluster.fuzzer() != nullptr) {
+    diag += "\n" + cluster.fuzzer()->format_trace();
+  }
+  return diag;
+}
+
+TEST(CollFuzzSoak, CorrectAcrossSeedsUnderFaults) {
+  // >= 100 seeds by default (the acceptance bar); PM2_FUZZ_SOAK_SEEDS
+  // deepens the sweep in CI.  Seed 0 means "fuzzer off", so start at 1.
+  std::uint64_t seeds = 100;
+  if (const char* env = std::getenv("PM2_FUZZ_SOAK_SEEDS"); env != nullptr) {
+    seeds = std::strtoull(env, nullptr, 0);
+  }
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const std::string diag = soak_one(seed);
+    ASSERT_TRUE(diag.empty()) << diag;
+  }
+}
+
+TEST(CollFuzzSoak, LossyRunsAreDeterministic) {
+  // Same seed -> identical virtual-time outcome, even with faults and a
+  // perturbed schedule (the property that makes soak failures replayable).
+  const std::string a = soak_one(0xdecaf);
+  const std::string b = soak_one(0xdecaf);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, CollWorld,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 8u),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) ? "_Pioman" : "_AppDriven");
+    });
+
+}  // namespace
+}  // namespace pm2::nm::coll

@@ -2,14 +2,18 @@
 """Validate a pm2 metrics.json artefact (schema pm2-metrics-v1).
 
 Usage:
-    check_metrics.py METRICS_JSON [--expect-offload-beats BASELINE_JSON]
+    check_metrics.py METRICS_JSON [--expect-coll]
+                     [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
 the attribution numbers are internally consistent.  With
 --expect-offload-beats, additionally asserts that METRICS_JSON (a PIOMan
 run) shows a strictly lower mean critical path than BASELINE_JSON (the
 app-driven run of the identical workload) — the paper's offload claim,
-checked in CI on every push.
+checked in CI on every push.  With --expect-coll, additionally asserts
+that the collective engine ran: nodeN/coll counters present, every
+started collective completed, the op-kind counters add up, and the tag
+band advanced in lockstep on every node.
 """
 
 import json
@@ -88,6 +92,45 @@ def check_document(path: str) -> dict:
     return doc
 
 
+def check_coll(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    gauges = doc["metrics"]["gauges"]
+    nodes = sorted({name.split("/")[0] for name in counters
+                    if "/coll/" in name})
+    if not nodes:
+        fail(f"{path}: no nodeN/coll counters (collective engine not bound)")
+    started = completed = 0
+    algos = 0
+    for node in nodes:
+        pfx = f"{node}/coll"
+        for req in ("started", "completed", "ops_executed", "ops_send",
+                    "ops_recv", "ops_reduce", "ops_copy", "tag_blocks"):
+            if f"{pfx}/{req}" not in counters:
+                fail(f"{path}: counter {pfx}/{req} absent")
+        if counters[f"{pfx}/started"] != counters[f"{pfx}/completed"]:
+            fail(f"{path}: {pfx}: started != completed "
+                 f"({counters[f'{pfx}/started']} vs "
+                 f"{counters[f'{pfx}/completed']})")
+        kinds = sum(counters[f"{pfx}/ops_{k}"]
+                    for k in ("send", "recv", "reduce", "copy"))
+        if counters[f"{pfx}/ops_executed"] != kinds:
+            fail(f"{path}: {pfx}: ops_executed != sum of op kinds")
+        started += counters[f"{pfx}/started"]
+        completed += counters[f"{pfx}/completed"]
+        algos += sum(v for name, v in counters.items()
+                     if name.startswith(f"{pfx}/algo/"))
+    if started == 0:
+        fail(f"{path}: no collectives ran")
+    if algos != started:
+        fail(f"{path}: per-algorithm counters ({algos}) do not account "
+             f"for every started collective ({started})")
+    tags = {gauges.get(f"{node}/coll/tags_used") for node in nodes}
+    if len(tags) != 1 or None in tags:
+        fail(f"{path}: coll tag band not in lockstep across nodes: {tags}")
+    print(f"check_metrics: {path}: coll ok ({started} collectives on "
+          f"{len(nodes)} nodes, {tags.pop()} tags in lockstep)")
+
+
 def main() -> None:
     args = sys.argv[1:]
     if not args or args[0] in ("-h", "--help"):
@@ -95,6 +138,9 @@ def main() -> None:
         sys.exit(0 if args else 2)
 
     offload = check_document(args[0])
+    if "--expect-coll" in args:
+        check_coll(args[0], offload)
+        args = [a for a in args if a != "--expect-coll"]
     if len(args) >= 3 and args[1] == "--expect-offload-beats":
         baseline = check_document(args[2])
         off_crit = offload["attribution"]["critical_path_us"]["mean"]
