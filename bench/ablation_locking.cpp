@@ -1,87 +1,112 @@
-// Ablation A1 — thread-safety granularity (§2.1): a library-wide mutex vs
-// per-event light locks.
+// Ablation A1 — thread-safety granularity (§2.1): the cost of a
+// library-wide engine lock, measured in virtual time on the full stack.
 //
-// Host-thread benchmark: N threads each process "events" whose critical
-// section is short (tens of ns), mimicking the per-event work of the
-// communication engine.  Three variants:
-//   * global std::mutex        — the classical library-wide lock,
-//   * global TTAS spinlock     — light primitive, still one lock,
-//   * sharded spinlocks        — per-queue locks, the paper's design.
-// On a multi-core host the sharded variant scales; on a single-core CI
-// box the absolute numbers compress but the ranking stays visible.
-#include <benchmark/benchmark.h>
+// T sender threads on node 0 drive T receiver threads on node 1 (one tag
+// per pair, 4 KiB eager messages) through the one nm::Core each node owns.
+// With cfg.nm.engine_lock on, every isend/irecv/progress round serializes
+// on the big lock, and the lock profiler quantifies it: acquisitions,
+// contended acquisitions, contended-wait p99.  With the lock off (the
+// paper's per-event light locks, modeled as free) the same schedule shows
+// the concurrency the big lock forfeits.  Fully deterministic — the run is
+// a discrete-event simulation, so the trajectory numbers are exact.
+//
+// `ablation_locking --json <path>` writes the sweep as a pm2-bench-v1
+// trajectory record (see tools/bench_compare.py).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include <array>
-#include <atomic>
-#include <mutex>
-
-#include "common/spinlock.hpp"
+#include "harness.hpp"
 
 namespace {
 
-constexpr std::size_t kShards = 16;
+using namespace pm2;
+using namespace pm2::bench;
 
-struct GlobalMutexState {
-  std::mutex mu;
-  std::uint64_t counter = 0;
-};
-struct GlobalSpinState {
-  pm2::Spinlock mu;
-  std::uint64_t counter = 0;
-};
-struct ShardedState {
-  struct alignas(pm2::kCacheLineSize) Shard {
-    pm2::Spinlock mu;
-    std::uint64_t counter = 0;
-  };
-  std::array<Shard, kShards> shards;
+constexpr int kIters = 32;
+constexpr std::size_t kSize = 4096;
+
+struct LockCase {
+  double total_us = 0;
+  double msgs_per_ms = 0;
+  ClusterObs obs;
 };
 
-GlobalMutexState g_mutex_state;
-GlobalSpinState g_spin_state;
-ShardedState g_sharded_state;
-
-void simulated_event_work() {
-  // A short critical section: a few dependent ops, like updating one
-  // request's state.
-  benchmark::ClobberMemory();
-}
-
-void BM_GlobalMutex(benchmark::State& state) {
-  for (auto _ : state) {
-    std::lock_guard<std::mutex> lock(g_mutex_state.mu);
-    ++g_mutex_state.counter;
-    simulated_event_work();
+LockCase run_case(unsigned pairs, bool locked) {
+  ClusterConfig cfg;
+  cfg.pioman = true;
+  cfg.nm.engine_lock = locked;
+  Cluster cluster(cfg);
+  // Static so the buffers outlive the app fibers regardless of when the
+  // engine retires them (same idiom as the integration tests).
+  static std::vector<std::vector<std::byte>> tx, rx;
+  tx.assign(pairs, std::vector<std::byte>(kSize, std::byte{0x5a}));
+  rx.assign(pairs, std::vector<std::byte>(kSize));
+  for (unsigned p = 0; p < pairs; ++p) {
+    cluster.run_on(0, [&cluster, p] {
+      for (int i = 0; i < kIters; ++i) {
+        cluster.comm(0).wait(cluster.comm(0).isend(1, p + 1, tx[p]));
+      }
+    });
+    cluster.run_on(1, [&cluster, p] {
+      for (int i = 0; i < kIters; ++i) {
+        cluster.comm(1).wait(cluster.comm(1).irecv(0, p + 1, rx[p]));
+      }
+    });
   }
+  cluster.run();
+  LockCase r;
+  r.obs = observe(cluster);
+  r.total_us = to_us(cluster.now());
+  r.msgs_per_ms = (pairs * kIters) / (r.total_us / 1000.0);
+  return r;
 }
-
-void BM_GlobalSpinlock(benchmark::State& state) {
-  for (auto _ : state) {
-    std::lock_guard<pm2::Spinlock> lock(g_spin_state.mu);
-    ++g_spin_state.counter;
-    simulated_event_work();
-  }
-}
-
-void BM_ShardedSpinlocks(benchmark::State& state) {
-  // Each thread works mostly on its own shard — the per-event locking of
-  // §2.1 where unrelated events do not contend.
-  const std::size_t home =
-      static_cast<std::size_t>(state.thread_index()) % kShards;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    auto& shard = g_sharded_state.shards[(home + (i++ % 3 == 0 ? 1 : 0)) %
-                                         kShards];
-    std::lock_guard<pm2::Spinlock> lock(shard.mu);
-    ++shard.counter;
-    simulated_event_work();
-  }
-}
-
-BENCHMARK(BM_GlobalMutex)->ThreadRange(1, 4)->UseRealTime();
-BENCHMARK(BM_GlobalSpinlock)->ThreadRange(1, 4)->UseRealTime();
-BENCHMARK(BM_ShardedSpinlocks)->ThreadRange(1, 4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
+
+  std::printf("Ablation A1: library-wide engine lock vs per-event locks\n"
+              "(T sender/receiver pairs, 4K eager messages, 2 nodes x 8 "
+              "cores)\n");
+  print_header("Engine-lock contention",
+               {"pairs", "locked(us)", "lk msg/ms", "nolock(us)",
+                "nl msg/ms", "lock acq", "contended", "wait p99"});
+  BenchJson json("ablation_locking");
+  for (const unsigned pairs : {1u, 2u, 4u, 8u}) {
+    const LockCase lk = run_case(pairs, /*locked=*/true);
+    const LockCase nl = run_case(pairs, /*locked=*/false);
+    print_cell("T" + std::to_string(pairs));
+    print_cell(lk.total_us);
+    print_cell(lk.msgs_per_ms);
+    print_cell(nl.total_us);
+    print_cell(nl.msgs_per_ms);
+    print_cell(lk.obs.lock_acq);
+    print_cell(lk.obs.lock_contended);
+    print_cell(lk.obs.lock_wait_p99_us);
+    end_row();
+    json.begin_case("T" + std::to_string(pairs) + "/locked");
+    json.metric("total_us", lk.total_us, "lower");
+    json.metric("msgs_per_ms", lk.msgs_per_ms, "higher");
+    json.metrics_from(lk.obs);
+    json.begin_case("T" + std::to_string(pairs) + "/nolock");
+    json.metric("total_us", nl.total_us, "lower");
+    json.metric("msgs_per_ms", nl.msgs_per_ms, "higher");
+    json.metrics_from(nl.obs);
+  }
+  std::printf(
+      "\nExpected shape: lock acquisitions scale with T while the\n"
+      "contended share and wait p99 grow superlinearly — the §2.1\n"
+      "argument for per-event light locks over one big engine lock.\n");
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -18,6 +18,9 @@
 // modes with flight recording, writing fig5_baseline.metrics.json and
 // fig5_offload.metrics.json; set PM2_TRACE to also capture a Chrome trace
 // of the offload run (the baseline run's trace is overwritten).
+//
+// `fig5_small_offload --json <path>` additionally writes the sweep as a
+// pm2-bench-v1 trajectory record (see tools/bench_compare.py).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +66,8 @@ int main(int argc, char** argv) {
         argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 4096;
     return run_traced(size);
   }
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
 
   const SimDuration comp = 20 * kUs;
   const std::size_t sizes[] = {1024, 2048, 4096, 8192, 16384, 32768};
@@ -72,10 +77,13 @@ int main(int argc, char** argv) {
   print_header("Sending time (us)",
                {"size", "reference", "no-offload", "offload",
                 "overhead(us)", "base-crit", "offl-crit", "offl-bg"});
+  BenchJson json("fig5_small_offload");
   for (const std::size_t size : sizes) {
+    ClusterObs obs;
     const Fig4Result ref = run_fig4(/*pioman=*/true, size, 0);
     const Fig4Result base = run_fig4(/*pioman=*/false, size, comp);
-    const Fig4Result offl = run_fig4(/*pioman=*/true, size, comp);
+    const Fig4Result offl =
+        run_fig4(/*pioman=*/true, size, comp, 16, {}, {}, &obs);
     const double ideal = std::max(ref.send_us, to_us(comp));
     print_cell(size_label(size));
     print_cell(ref.send_us);
@@ -86,6 +94,20 @@ int main(int argc, char** argv) {
     print_cell(offl.crit_us);
     print_cell(offl.offl_us);
     end_row();
+    json.begin_case(size_label(size));
+    json.metric("ref_us", ref.send_us, "lower");
+    json.metric("nooffl_us", base.send_us, "lower");
+    json.metric("offl_us", offl.send_us, "lower");
+    json.metric("offl_crit_us", offl.crit_us, "lower");
+    json.metric("offl_bg_us", offl.offl_us);
+    json.metrics_from(obs);  // lock + core-state numbers of the offload run
+  }
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path);
   }
   std::printf(
       "\nExpected shape (paper): no-offload ~ reference + 20us (sum);\n"

@@ -7,13 +7,20 @@
 //   * no RDV progression  — original NewMadeleine ⇒ sum(comm, comp),
 //   * RDV progression     — PIOMan ⇒ max(comm, comp),
 //   * no computation      — reference.
+//
+// `fig6_rdv_progress --json <path>` also writes the sweep as a
+// pm2-bench-v1 trajectory record (see tools/bench_compare.py).
 #include <cstdio>
+#include <cstring>
 
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pm2;
   using namespace pm2::bench;
+
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
 
   const SimDuration comp = 100 * kUs;
   const std::size_t sizes[] = {8 * 1024,   16 * 1024,  32 * 1024,
@@ -25,10 +32,13 @@ int main() {
   print_header("Sending time (us)",
                {"size", "no-rdv-progress", "rdv-progress", "reference",
                 "base-crit", "prog-crit", "prog-bg"});
+  BenchJson json("fig6_rdv_progress");
   for (const std::size_t size : sizes) {
+    ClusterObs obs;
     const Fig4Result ref = run_fig4(/*pioman=*/true, size, 0);
     const Fig4Result base = run_fig4(/*pioman=*/false, size, comp);
-    const Fig4Result prog = run_fig4(/*pioman=*/true, size, comp);
+    const Fig4Result prog =
+        run_fig4(/*pioman=*/true, size, comp, 16, {}, {}, &obs);
     print_cell(size_label(size));
     print_cell(base.send_us);
     print_cell(prog.send_us);
@@ -37,6 +47,20 @@ int main() {
     print_cell(prog.crit_us);
     print_cell(prog.offl_us);
     end_row();
+    json.begin_case(size_label(size));
+    json.metric("norprog_us", base.send_us, "lower");
+    json.metric("rdvprog_us", prog.send_us, "lower");
+    json.metric("ref_us", ref.send_us, "lower");
+    json.metric("prog_crit_us", prog.crit_us, "lower");
+    json.metric("prog_bg_us", prog.offl_us);
+    json.metrics_from(obs);  // lock + core-state numbers of the prog run
+  }
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path);
   }
   std::printf(
       "\nExpected shape (paper): below 32K the eager path behaves like\n"

@@ -5,7 +5,11 @@
 // collective until wait(), so nothing hides.
 //
 //   overlap% = (T_comm + T_comp - T_total) / T_comm,  with T_comp = T_comm.
+//
+// `fig_coll_overlap --json <path>` also writes the sweep as a
+// pm2-bench-v1 trajectory record (see tools/bench_compare.py).
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,7 +27,7 @@ struct OverlapResult {
 };
 
 OverlapResult run_overlap(bool pioman, unsigned nodes, std::size_t elems,
-                          int iters) {
+                          int iters, bench::ClusterObs* obs = nullptr) {
   ClusterConfig cfg;
   cfg.nodes = nodes;
   cfg.cpus_per_node = 4;
@@ -69,23 +73,29 @@ OverlapResult run_overlap(bool pioman, unsigned nodes, std::size_t elems,
     });
   }
   cluster.run();
+  if (obs != nullptr) *obs = bench::observe(cluster);
   return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pm2::bench;
   constexpr unsigned kNodes = 4;
   constexpr int kIters = 8;
+
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
 
   std::printf("Gradient all-reduce overlap (%u nodes x 4 cores, "
               "iallreduce_sum + equal compute)\n", kNodes);
   print_header("Overlap, PIOMan vs app-driven baseline",
                {"elems", "piom comm", "piom total", "piom ovl%",
                 "base total", "base ovl%"});
+  BenchJson json("fig_coll_overlap");
   for (const std::size_t elems : {4096ul, 65536ul, 262144ul}) {
-    const OverlapResult piom = run_overlap(true, kNodes, elems, kIters);
+    ClusterObs obs;
+    const OverlapResult piom = run_overlap(true, kNodes, elems, kIters, &obs);
     const OverlapResult base = run_overlap(false, kNodes, elems, kIters);
     print_cell(std::to_string(elems));
     print_cell(piom.comm_us);
@@ -94,6 +104,19 @@ int main() {
     print_cell(base.total_us);
     print_cell(base.overlap_pct);
     end_row();
+    json.begin_case(std::to_string(elems));
+    json.metric("piom_comm_us", piom.comm_us, "lower");
+    json.metric("piom_total_us", piom.total_us, "lower");
+    json.metric("piom_overlap_pct", piom.overlap_pct, "higher");
+    json.metric("base_total_us", base.total_us, "lower");
+    json.metrics_from(obs);  // lock + core-state numbers of the piom run
+  }
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path);
   }
   std::printf(
       "\nWith PIOMan, completion events drive the schedule DAG on idle\n"

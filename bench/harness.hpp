@@ -1,9 +1,12 @@
-// Shared benchmark harness: the paper's Fig. 4 kernel and table printing.
+// Shared benchmark harness: the paper's Fig. 4 kernel, table printing, and
+// the benchmark-trajectory JSON writer (pm2-bench-v1, consumed by
+// tools/bench_compare.py and aggregated into BENCH_core.json).
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -11,6 +14,117 @@
 #include "pm2/cluster.hpp"
 
 namespace pm2::bench {
+
+/// Cluster-wide observability capture for the trajectory records:
+/// engine-lock contention plus the per-core time-in-state totals.
+struct ClusterObs {
+  double sim_time_us = 0;
+  double lock_acq = 0;          // engine-lock acquisitions, summed over nodes
+  double lock_contended = 0;    // ... of which hit the contended path
+  double lock_wait_p99_us = 0;  // worst node's contended-wait p99
+  double lock_hold_p99_us = 0;  // worst node's hold p99
+  double app_us = 0;            // time-in-state totals, all cores all nodes
+  double engine_us = 0;
+  double tasklet_us = 0;
+  double idle_us = 0;
+  double blocked_us = 0;
+};
+
+inline ClusterObs observe(Cluster& cluster) {
+  cluster.flush_observability();
+  const MetricsRegistry& m = cluster.metrics();
+  ClusterObs o;
+  o.sim_time_us = to_us(cluster.now());
+  for (unsigned n = 0; n < cluster.nodes(); ++n) {
+    const std::string lock = "node" + std::to_string(n) + "/locks/engine";
+    o.lock_acq += m.value(lock + "/acq");
+    o.lock_contended += m.value(lock + "/contended");
+    if (const Log2Histogram* h = m.find_histogram(lock + "/wait_us")) {
+      o.lock_wait_p99_us = std::max(o.lock_wait_p99_us, h->percentile(99));
+    }
+    if (const Log2Histogram* h = m.find_histogram(lock + "/hold_us")) {
+      o.lock_hold_p99_us = std::max(o.lock_hold_p99_us, h->percentile(99));
+    }
+  }
+  o.app_us = to_us(m.sum("node", "/state/app_ns"));
+  o.engine_us = to_us(m.sum("node", "/state/engine_ns"));
+  o.tasklet_us = to_us(m.sum("node", "/state/tasklet_ns"));
+  o.idle_us = to_us(m.sum("node", "/state/idle_ns"));
+  o.blocked_us = to_us(m.sum("node", "/state/blocked_ns"));
+  return o;
+}
+
+/// Accumulates one benchmark's normalized records and writes them as a
+/// pm2-bench-v1 document:
+///   {"schema":"pm2-bench-v1","bench":<name>,
+///    "records":[{"case":<c>,"metrics":{<key>:{"value":v,"gate":g}}}]}
+/// gate is "lower" (regression when the value rises), "higher" (regression
+/// when it falls), or "none" (informational only).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void begin_case(std::string name) {
+    records_.push_back({std::move(name), {}});
+  }
+
+  void metric(std::string key, double value, const char* gate = "none") {
+    records_.back().metrics.push_back({std::move(key), value, gate});
+  }
+
+  /// The standard observability block every record carries: engine-lock
+  /// contention and the per-core time-in-state breakdown (informational —
+  /// the gated metrics are the bench's own latency/throughput numbers).
+  void metrics_from(const ClusterObs& o) {
+    metric("sim_time_us", o.sim_time_us);
+    metric("lock_acq", o.lock_acq);
+    metric("lock_contended", o.lock_contended);
+    metric("lock_wait_p99_us", o.lock_wait_p99_us);
+    metric("lock_hold_p99_us", o.lock_hold_p99_us);
+    metric("core_app_us", o.app_us);
+    metric("core_engine_us", o.engine_us);
+    metric("core_tasklet_us", o.tasklet_us);
+    metric("core_idle_us", o.idle_us);
+    metric("core_blocked_us", o.blocked_us);
+  }
+
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"schema\":\"pm2-bench-v1\",\"bench\":\"%s\",",
+                 bench_.c_str());
+    std::fprintf(f, "\"records\":[");
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      const Record& rec = records_[r];
+      std::fprintf(f, "%s{\"case\":\"%s\",\"metrics\":{", r ? "," : "",
+                   rec.name.c_str());
+      for (std::size_t i = 0; i < rec.metrics.size(); ++i) {
+        const Metric& mt = rec.metrics[i];
+        std::fprintf(f, "%s\"%s\":{\"value\":%.6g,\"gate\":\"%s\"}",
+                     i ? "," : "", mt.key.c_str(), mt.value,
+                     mt.gate.c_str());
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "]}\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  struct Metric {
+    std::string key;
+    double value;
+    std::string gate;
+  };
+  struct Record {
+    std::string name;
+    std::vector<Metric> metrics;
+  };
+  std::string bench_;
+  std::vector<Record> records_;
+};
 
 /// Result of running the Fig. 4 kernel.
 struct Fig4Result {
@@ -26,10 +140,12 @@ struct Fig4Result {
 /// side runs `isend(len); compute(comp); swait()` and the mirrored receive.
 /// `pioman` selects the multithreaded engine vs the app-driven baseline.
 /// When `metrics_path` is non-empty, the run's metrics.json (registry +
-/// attribution) is written there.
+/// attribution) is written there.  When `obs` is non-null it receives the
+/// run's lock/core-state observability capture.
 inline Fig4Result run_fig4(bool pioman, std::size_t size, SimDuration comp,
                            int iters = 16, ClusterConfig cfg = {},
-                           const std::string& metrics_path = {}) {
+                           const std::string& metrics_path = {},
+                           ClusterObs* obs = nullptr) {
   cfg.pioman = pioman;
   cfg.flight = true;
   Cluster cluster(cfg);
@@ -74,6 +190,7 @@ inline Fig4Result run_fig4(bool pioman, std::size_t size, SimDuration comp,
   }
   const Attribution attr = attribute_flights(recorders);
   if (!metrics_path.empty()) cluster.write_metrics_json(metrics_path);
+  if (obs != nullptr) *obs = observe(cluster);
   return Fig4Result{send_t.mean(), recv_t.mean(), attr.crit_us.mean(),
                     attr.offl_us.mean()};
 }

@@ -2,6 +2,11 @@
 
 namespace pm2::lockdep_hook {
 
-std::atomic<const Vtbl*> g_vtbl{nullptr};
+std::atomic<const Vtbl*> g_slots[kSlots] = {nullptr, nullptr};
+
+void set_hook(Slot slot, const Vtbl* vtbl) noexcept {
+  g_slots[static_cast<std::size_t>(slot)].store(vtbl,
+                                                std::memory_order_release);
+}
 
 }  // namespace pm2::lockdep_hook

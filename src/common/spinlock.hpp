@@ -25,13 +25,18 @@ class alignas(kCacheLineSize) Spinlock {
 
   void lock() noexcept {
     Backoff backoff;
+    bool contended = false;
     for (;;) {
       // Test-and-set attempt first; on failure spin on a plain load so the
       // cache line stays shared until it is plausibly free.
       if (!flag_.exchange(true, std::memory_order_acquire)) break;
+      if (!contended) {
+        contended = true;
+        lockdep_hook::contended(this, "pm2::Spinlock");
+      }
       while (flag_.load(std::memory_order_relaxed)) backoff.pause();
     }
-    lockdep_hook::acquired(this, "pm2::Spinlock");
+    lockdep_hook::acquired(this, "pm2::Spinlock", contended);
   }
 
   [[nodiscard]] bool try_lock() noexcept {
@@ -65,8 +70,15 @@ class alignas(kCacheLineSize) TicketLock {
   void lock() noexcept {
     const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff;
-    while (serving_.load(std::memory_order_acquire) != my) backoff.pause();
-    lockdep_hook::acquired(this, "pm2::TicketLock");
+    bool contended = false;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      if (!contended) {
+        contended = true;
+        lockdep_hook::contended(this, "pm2::TicketLock");
+      }
+      backoff.pause();
+    }
+    lockdep_hook::acquired(this, "pm2::TicketLock", contended);
   }
 
   [[nodiscard]] bool try_lock() noexcept {

@@ -132,6 +132,7 @@ void Server::post(WorkFn work) {
 void Server::flush_posted() {
   marcel::Cpu* cpu = marcel::detail::current_cpu();
   PM2_ASSERT_MSG(cpu != nullptr, "flush_posted outside a fiber");
+  marcel::EngineScope scope;  // app thread draining the engine's work
   while (!posted_.empty()) {
     PostedItem item = std::move(posted_.front());
     posted_.pop_front();
@@ -141,6 +142,7 @@ void Server::flush_posted() {
 }
 
 bool Server::run_posted(marcel::Cpu& cpu) {
+  marcel::EngineScope scope;
   bool any = false;
   while (!posted_.empty()) {
     PostedItem item = std::move(posted_.front());
@@ -157,6 +159,7 @@ bool Server::run_posted(marcel::Cpu& cpu) {
 }
 
 bool Server::poll_round(marcel::Cpu& cpu) {
+  marcel::EngineScope scope;
   ++stats_.poll_rounds;
   bool progress = false;
   ++poll_round_depth_;
@@ -270,7 +273,10 @@ void Server::lwp_body() {
     lwp_has_event_ = false;
     if (shutdown_) return;
     // Interrupt handling + kernel wakeup path.
-    marcel::this_thread::compute(cfg_.interrupt_cost);
+    {
+      marcel::EngineScope scope;
+      marcel::this_thread::compute(cfg_.interrupt_cost);
+    }
     marcel::Cpu& cpu = marcel::this_thread::cpu();
     run_posted(cpu);
     poll_round(cpu);

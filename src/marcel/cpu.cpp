@@ -24,6 +24,17 @@ Cpu* current_cpu() noexcept { return t_cpu; }
 Thread* current_thread() noexcept { return t_thread; }
 }  // namespace detail
 
+const char* core_state_name(CoreState s) noexcept {
+  switch (s) {
+    case CoreState::kIdle: return "idle";
+    case CoreState::kApp: return "app";
+    case CoreState::kEngine: return "engine";
+    case CoreState::kTasklet: return "tasklet";
+    case CoreState::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
 Cpu::Cpu(Node& node, unsigned index, const Config& cfg, sim::Engine& engine)
     : node_(node),
       index_(index),
@@ -169,6 +180,13 @@ void Cpu::begin_run(Occupant what, Thread* t) {
   occ_ = what;
   cur_thread_ = t;
   if (t != nullptr) t->state_ = ThreadState::kRunning;
+  if (what == Occupant::kThread) {
+    set_core_state(t->engine_scope_ > 0 ? CoreState::kEngine
+                                        : CoreState::kApp);
+  } else {
+    set_core_state(!tasklets_.empty() ? CoreState::kTasklet
+                                      : CoreState::kEngine);
+  }
   ++stats_.ctx_switches;
   need_resched_ = false;
   slice_start_ = engine_.now();
@@ -205,6 +223,7 @@ void Cpu::run_occupant() {
 void Cpu::handle_suspension() {
   if (occ_ == Occupant::kThread && cur_thread_->fiber_.finished()) {
     trace_occupancy_end();
+    set_core_state(CoreState::kIdle);
     Thread* t = cur_thread_;
     occ_ = Occupant::kNone;
     cur_thread_ = nullptr;
@@ -219,6 +238,7 @@ void Cpu::handle_suspension() {
     case SuspendReason::kYield:
     case SuspendReason::kPreempted: {
       trace_occupancy_end();
+      set_core_state(CoreState::kIdle);
       Thread* t = cur_thread_;
       occ_ = Occupant::kNone;
       cur_thread_ = nullptr;
@@ -230,6 +250,7 @@ void Cpu::handle_suspension() {
       PM2_ASSERT(cur_thread_ != nullptr &&
                  cur_thread_->state_ == ThreadState::kBlocked);
       trace_occupancy_end();
+      set_core_state(CoreState::kBlocked);
       occ_ = Occupant::kNone;
       cur_thread_ = nullptr;
       kick();
@@ -237,6 +258,7 @@ void Cpu::handle_suspension() {
     }
     case SuspendReason::kServiceDone: {
       trace_occupancy_end();
+      set_core_state(CoreState::kIdle);
       occ_ = Occupant::kNone;
       service_idle_mode_ = false;
       kick();
@@ -244,6 +266,7 @@ void Cpu::handle_suspension() {
     }
     case SuspendReason::kServicePark: {
       trace_occupancy_end();
+      set_core_state(CoreState::kIdle);
       occ_ = Occupant::kNone;
       service_idle_mode_ = false;
       if (work_seq_ == service_round_seq_) {
@@ -310,7 +333,7 @@ SimDuration Cpu::compute_chunk(SimDuration d) {
   PM2_ASSERT_MSG(t_cpu == this, "compute from a fiber not on this CPU");
   PM2_ASSERT(busy());
   if (d == 0) return 0;
-  if (need_resched_ && occ_ == Occupant::kThread) {
+  if (need_resched_ && occ_ == Occupant::kThread && preempt_off_ == 0) {
     suspend_current(SuspendReason::kPreempted);
     return d;  // caller refetches the (possibly new) CPU and continues
   }
@@ -356,6 +379,47 @@ void Cpu::charge(SimDuration d) {
   }
 }
 
+void Cpu::preempt_enable() noexcept {
+  PM2_ASSERT_MSG(preempt_off_ > 0, "unbalanced preempt_enable");
+  --preempt_off_;
+}
+
+void Cpu::engine_scope_enter() noexcept {
+  if (occ_ != Occupant::kThread) return;
+  if (cur_thread_->engine_scope_++ == 0) set_core_state(CoreState::kEngine);
+}
+
+void Cpu::engine_scope_exit() noexcept {
+  if (occ_ != Occupant::kThread) return;
+  PM2_ASSERT_MSG(cur_thread_->engine_scope_ > 0, "unbalanced EngineScope");
+  if (--cur_thread_->engine_scope_ == 0) set_core_state(CoreState::kApp);
+}
+
+// ------------------------------------------------------------- core states
+
+void Cpu::set_core_state(CoreState s) {
+  if (s == state_) return;
+  const SimTime now = engine_.now();
+  state_ns_[static_cast<std::size_t>(state_)] += now - state_since_;
+  if (sim::Tracer* tracer = node_.runtime().tracer();
+      tracer != nullptr && now > state_since_) {
+    if (state_track_.empty()) {
+      state_track_ = "node" + std::to_string(node_.index()) + "/cpu" +
+                     std::to_string(index_) + "/state";
+    }
+    tracer->span(state_track_, core_state_name(state_), state_since_, now,
+                 "core-state");
+  }
+  state_ = s;
+  state_since_ = now;
+}
+
+void Cpu::flush_core_state() {
+  const SimTime now = engine_.now();
+  state_ns_[static_cast<std::size_t>(state_)] += now - state_since_;
+  state_since_ = now;
+}
+
 // ---------------------------------------------------------------- service
 
 void Cpu::service_body() {
@@ -363,6 +427,7 @@ void Cpu::service_body() {
   for (;;) {
     need_resched_ = false;
     // 1. Tasklets — highest priority work (§3.1 of the paper).
+    if (!tasklets_.empty()) set_core_state(CoreState::kTasklet);
     while (Tasklet* t = tasklets_.pop_front()) {
       run_one_tasklet(*t);
       if (ready_count_ > 0) break;  // a thread woke: stop hogging the core
@@ -372,6 +437,7 @@ void Cpu::service_body() {
       continue;
     }
     // 2. Idle polling round (PIOMan hooks).
+    set_core_state(CoreState::kEngine);
     service_round_seq_ = work_seq_;
     const bool progress = node_.run_idle_hooks(*this);
     if (progress) {
@@ -415,6 +481,11 @@ void Cpu::bind_metrics(MetricsRegistry& registry,
   registry.bind_counter(p + "/ctx_switches", &stats_.ctx_switches);
   registry.bind_counter(p + "/steals", &stats_.steals);
   registry.bind_counter(p + "/dispatches", &stats_.dispatches);
+  for (std::size_t i = 0; i < kNumCoreStates; ++i) {
+    registry.bind_counter(
+        p + "/state/" + core_state_name(static_cast<CoreState>(i)) + "_ns",
+        &state_ns_[i]);
+  }
 }
 
 }  // namespace pm2::marcel

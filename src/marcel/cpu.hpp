@@ -34,6 +34,22 @@ enum class SuspendReason : std::uint8_t {
   kServicePark,   // service fiber found no work at all
 };
 
+/// Core-state timeline: every instant of a core's simulated time is
+/// attributed to exactly one state, so the per-state counters sum to the
+/// total elapsed sim-time once flush_core_state() folds the open interval.
+enum class CoreState : std::uint8_t {
+  kIdle = 0,     // halted, or dispatch/wakeup latency with no prior blocker
+  kApp = 1,      // a thread running application compute
+  kEngine = 2,   // engine progression: idle polling or a thread inside an
+                 // EngineScope (app-driven progress, offload flush)
+  kTasklet = 3,  // the service fiber draining tasklets
+  kBlocked = 4,  // halted because the last occupant blocked on an event
+};
+inline constexpr std::size_t kNumCoreStates = 5;
+
+/// Printable name of a core state ("idle", "app", ...).
+[[nodiscard]] const char* core_state_name(CoreState s) noexcept;
+
 class Cpu {
  public:
   Cpu(Node& node, unsigned index, const Config& cfg, sim::Engine& engine);
@@ -106,6 +122,29 @@ class Cpu {
   /// Node::wake() later.
   void block_current();
 
+  /// Keep the current thread on this core through its critical section:
+  /// compute_chunk() will not honour need_resched while the count is
+  /// non-zero.  Used by nm::EngineLock so a lock holder cannot be parked
+  /// behind a fiber spinning on the very lock it holds.
+  void preempt_disable() noexcept { ++preempt_off_; }
+  void preempt_enable() noexcept;
+
+  /// Mark the current thread occupant as doing engine progression (nested).
+  /// No-op for service fibers — their time is already attributed to the
+  /// engine/tasklet states — and the depth lives on the Thread, so the
+  /// attribution survives preemption and migration.
+  void engine_scope_enter() noexcept;
+  void engine_scope_exit() noexcept;
+
+  /// Sim-time spent in each CoreState (flush_core_state() first for an
+  /// up-to-date view that sums to engine().now()).
+  [[nodiscard]] const SimDuration* state_ns() const noexcept {
+    return state_ns_;
+  }
+
+  /// Fold the open state interval into the counters without changing state.
+  void flush_core_state();
+
   // ----- statistics -----
   struct Stats {
     SimDuration thread_busy_ns = 0;   // application thread compute
@@ -152,6 +191,7 @@ class Cpu {
   void run_one_tasklet(Tasklet& t);
   void suspend_current(SuspendReason r);
   void charge(SimDuration d);
+  void set_core_state(CoreState s);
 
   Node& node_;
   unsigned index_;
@@ -172,6 +212,12 @@ class Cpu {
   Thread* cur_thread_ = nullptr;
   SuspendReason last_suspend_ = SuspendReason::kNone;
   bool need_resched_ = false;
+  unsigned preempt_off_ = 0;
+
+  CoreState state_ = CoreState::kIdle;
+  SimTime state_since_ = 0;
+  SimDuration state_ns_[kNumCoreStates] = {};
+  std::string state_track_;  // cached "node<i>/cpu<j>/state"
 
   bool dispatch_pending_ = false;
   sim::EventId dispatch_event_ = sim::kInvalidEventId;
@@ -196,5 +242,22 @@ namespace detail {
 /// The thread owning the calling fiber (nullptr on service fibers).
 [[nodiscard]] Thread* current_thread() noexcept;
 }  // namespace detail
+
+/// RAII marker for engine-progression sections (PIOMan polls, protocol
+/// flushes, app-driven progress): while one is live, the occupying thread's
+/// time is charged to CoreState::kEngine instead of kApp.  The CPU is
+/// re-fetched on exit because a preemption may have migrated the thread
+/// mid-scope.  Safe in any context; no-op outside a virtual core.
+class EngineScope {
+ public:
+  EngineScope() noexcept {
+    if (Cpu* c = detail::current_cpu()) c->engine_scope_enter();
+  }
+  ~EngineScope() {
+    if (Cpu* c = detail::current_cpu()) c->engine_scope_exit();
+  }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+};
 
 }  // namespace pm2::marcel

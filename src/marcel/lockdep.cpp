@@ -156,8 +156,11 @@ void do_acquire(const void* lock, const char* cls, bool spin, bool push) {
   if (push) ctx.held.push_back({lock, cls, spin});
 }
 
-// Spinlock-side hook table (installed while enabled).
-void hook_acquired(const void* lock, const char* cls) {
+// Spinlock-side hook table (installed while enabled).  The checker cares
+// about ordering, not contention, so contended() events are ignored.
+void hook_contended(const void*, const char*) {}
+
+void hook_acquired(const void* lock, const char* cls, bool /*contended*/) {
   if (g_enabled.load(std::memory_order_relaxed)) {
     do_acquire(lock, cls, /*spin=*/true, /*push=*/true);
   }
@@ -167,14 +170,14 @@ void hook_released(const void* lock) {
   if (g_enabled.load(std::memory_order_relaxed)) released(lock);
 }
 
-constexpr lockdep_hook::Vtbl kVtbl{&hook_acquired, &hook_released};
+constexpr lockdep_hook::Vtbl kVtbl{&hook_contended, &hook_acquired,
+                                   &hook_released};
 
 }  // namespace
 
 void enable(bool on) {
   g_enabled.store(on, std::memory_order_relaxed);
-  lockdep_hook::g_vtbl.store(on ? &kVtbl : nullptr,
-                             std::memory_order_release);
+  lockdep_hook::set_hook(lockdep_hook::Slot::kChecker, on ? &kVtbl : nullptr);
 }
 
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/lock_profile.hpp"
 #include "marcel/lockdep.hpp"
 #include "marcel/node.hpp"
 
@@ -26,13 +27,16 @@ void Mutex::lock() {
   if (owner_ == nullptr) {
     owner_ = &self;
     lockdep::acquired(this, "marcel::Mutex");
+    lock_profile::note_acquired(this, "marcel::Mutex", /*contended=*/false);
     return;
   }
+  lock_profile::note_contended(this, "marcel::Mutex");
   waiters_.push_back(self);
   detail::current_cpu()->block_current();
   // unlock() handed ownership to us before waking.
   PM2_ASSERT(owner_ == &self);
   lockdep::acquired(this, "marcel::Mutex");
+  lock_profile::note_acquired(this, "marcel::Mutex", /*contended=*/true);
 }
 
 bool Mutex::try_lock() {
@@ -40,12 +44,14 @@ bool Mutex::try_lock() {
   if (owner_ != nullptr) return false;
   owner_ = &self;
   lockdep::acquired(this, "marcel::Mutex");
+  lock_profile::note_acquired(this, "marcel::Mutex", /*contended=*/false);
   return true;
 }
 
 void Mutex::unlock() {
   PM2_ASSERT_MSG(owner_ == this_thread::self(), "unlock by non-owner");
   lockdep::released(this);
+  lock_profile::note_released(this);
   if (Thread* next = waiters_.pop_front()) {
     owner_ = next;  // direct hand-off: no barging
     next->node().wake(*next);

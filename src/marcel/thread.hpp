@@ -71,6 +71,7 @@ class Thread {
   ThreadState state_ = ThreadState::kReady;
   Cpu* last_cpu_ = nullptr;  // affinity hint
   SimDuration cpu_time_ = 0;
+  unsigned engine_scope_ = 0;  // EngineScope depth; survives migration
   IntrusiveList<Thread, &Thread::wait_hook> joiners_;
 };
 

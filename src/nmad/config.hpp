@@ -61,6 +61,16 @@ struct Config {
   /// Multirail strategy: stripe only messages at least this large.
   std::size_t multirail_min = 64 * 1024;
 
+  /// Model the library-wide engine lock (§2.1): every entry into the core
+  /// (isend/irecv/progress/flush/probe) serializes on one reentrant
+  /// spin-class lock whose contended acquisitions burn virtual CPU time.
+  /// The lock profiler reports it as "node<i>/locks/engine"; turning it
+  /// off restores the un-serialized (and un-measured) fast path.
+  bool engine_lock = true;
+
+  /// Spin granule of a contended engine-lock acquisition.
+  SimDuration engine_lock_spin = 50;  // ns
+
   /// CPU cost per byte for receive-side copies (NIC buffer → user buffer,
   /// or packet → unexpected-message buffer, §2.2 "receive path").
   double copy_ns_per_byte = 0.35;

@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "marcel/cpu.hpp"
+#include "marcel/lock_profile.hpp"
 #include "marcel/runtime.hpp"
 #include "nmad/reliable.hpp"
 #include "sim/trace.hpp"
@@ -49,6 +50,12 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
       cfg_(cfg),
       strategy_(make_strategy(cfg_.strategy, cfg_)) {
   PM2_ASSERT((server_ != nullptr) == (cfg_.mode == ProgressMode::kPioman));
+  if (cfg_.engine_lock) {
+    elock_ = std::make_unique<EngineLock>(cfg_.engine_lock_spin);
+    lock_profile::register_site(
+        elock_.get(),
+        "node" + std::to_string(node_.index()) + "/locks/engine");
+  }
   if (cfg_.reliable) reliable_ = std::make_unique<Reliability>(*this, cfg_);
   for (unsigned p = 0; p < fabric_.nodes(); ++p) {
     gates_.emplace_back();
@@ -90,6 +97,7 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
 }
 
 Core::~Core() {
+  if (elock_ != nullptr) lock_profile::unregister_site(elock_.get());
   if (server_ != nullptr) server_->unregister_ltask(ltask_id_);
 }
 
@@ -172,6 +180,8 @@ void Core::complete(Request& req) {
 Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
   PM2_ASSERT(dst < fabric_.nodes());
   const SimTime t0 = fabric_.engine().now();
+  marcel::EngineScope es;
+  EngineLockGuard lg(elock_.get());
   charge(cfg_.post_cost);
   Request* req = acquire();
   req->op = Request::Op::kSend;
@@ -227,6 +237,8 @@ Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
 Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   PM2_ASSERT(src < fabric_.nodes());
   const SimTime t0 = fabric_.engine().now();
+  marcel::EngineScope es;
+  EngineLockGuard lg(elock_.get());
   charge(cfg_.post_cost);
   Request* req = acquire();
   req->op = Request::Op::kRecv;
@@ -282,6 +294,7 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
 
 void Core::wait(Request* req) {
   PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  marcel::EngineScope es;  // time inside wait() is communication time
   flight_stamp(*req, Stage::kWaitEnter);
   if (server_ != nullptr) {
     req->cond->wait();
@@ -302,6 +315,7 @@ void Core::wait(Request* req) {
 
 bool Core::test(Request* req) {
   PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  marcel::EngineScope es;
   if (!req->done) {
     marcel::Cpu& cpu = marcel::this_thread::cpu();
     if (server_ != nullptr) {
@@ -320,6 +334,7 @@ bool Core::test(Request* req) {
 
 Status Core::wait_for(Request* req, SimDuration timeout) {
   PM2_ASSERT(req != nullptr && req->state != Request::State::kFree);
+  marcel::EngineScope es;
   flight_stamp(*req, Stage::kWaitEnter);
   if (server_ != nullptr) {
     const Status st = req->cond->wait_for(timeout);
@@ -368,6 +383,7 @@ Tag Core::alloc_coll_tags(std::uint32_t count) {
 }
 
 bool Core::probe(unsigned src, Tag tag) const {
+  EngineLockGuard lg(elock_.get());
   // A message the *next* irecv(src, tag) would match: the flow's next
   // receive sequence number, already sitting in an unexpected buffer.
   const auto flow = flows_.find({src, tag});
@@ -377,6 +393,8 @@ bool Core::probe(unsigned src, Tag tag) const {
 }
 
 bool Core::progress(marcel::Cpu&) {
+  marcel::EngineScope es;
+  EngineLockGuard lg(elock_.get());
   bool any = false;
   for (unsigned r = 0; r < fabric_.rails(); ++r) {
     net::Nic& nic = fabric_.nic(node_id(), r);
@@ -391,6 +409,8 @@ bool Core::progress(marcel::Cpu&) {
 // ------------------------------------------------------------ submission
 
 void Core::flush_gate(Gate& gate) {
+  marcel::EngineScope es;
+  EngineLockGuard lg(elock_.get());
   if (gate.sendq.empty()) return;  // a previous flush already drained it
   strategy_->flush(*this, gate);
 }

@@ -24,6 +24,7 @@
 #include "marcel/node.hpp"
 #include "netsim/fabric.hpp"
 #include "nmad/config.hpp"
+#include "nmad/engine_lock.hpp"
 #include "nmad/flight.hpp"
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
@@ -253,6 +254,9 @@ class Core {
   net::Fabric& fabric_;
   piom::Server* server_;
   Config cfg_;
+  // Modeled library-wide lock (Config::engine_lock); null when disabled.
+  // Profiled as "node<i>/locks/engine".
+  std::unique_ptr<EngineLock> elock_;
   std::unique_ptr<Strategy> strategy_;
   std::unique_ptr<Reliability> reliable_;
   std::deque<Gate> gates_;  // indexed by peer node id

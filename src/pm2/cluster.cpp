@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/json.hpp"
 #include "common/logging.hpp"
+#include "marcel/lock_profile.hpp"
 #include "nmad/reliable.hpp"
 #include "pm2/attribution.hpp"
 #include "sim/schedule_fuzz.hpp"
@@ -15,6 +16,10 @@
 namespace pm2 {
 
 Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  // Contention profiling is on for the Cluster's whole lifetime — it is
+  // cheap enough (one relaxed load per lock event while idle) to keep in
+  // every test.  Reference-counted, so overlapping clusters share it.
+  lock_profile::enable();
   cfg_.marcel.nodes = cfg_.nodes;
   cfg_.marcel.cpus_per_node = cfg_.cpus_per_node;
   cfg_.nm.mode =
@@ -111,6 +116,22 @@ Cluster::~Cluster() {
       PM2_WARN("failed to write trace to %s", trace_path_.c_str());
     }
   }
+  // Member teardown below still runs engine events (~Server drains its
+  // LWP fiber), and those dispatches emit core-state spans — detach the
+  // tracer so they cannot reach it after env_tracer_ is freed.
+  runtime_->set_tracer(nullptr);
+  if (fabric_->faults() != nullptr) fabric_->faults()->set_tracer(nullptr);
+  lock_profile::disable();
+}
+
+void Cluster::flush_observability() {
+  for (unsigned n = 0; n < cfg_.nodes; ++n) {
+    marcel::Node& node = runtime_->node(n);
+    for (unsigned c = 0; c < node.cpu_count(); ++c) {
+      node.cpu(c).flush_core_state();
+    }
+  }
+  lock_profile::export_to(metrics_);
 }
 
 void Cluster::bind_all_metrics() {
@@ -136,6 +157,12 @@ void Cluster::bind_all_metrics() {
       std::snprintf(prefix, sizeof prefix, "node%u/nic%u", n, r);
       fabric_->nic(n, r).bind_metrics(metrics_, prefix);
     }
+    if (n < flights_.size() && flights_[n] != nullptr) {
+      nm::FlightRecorder* rec = flights_[n].get();
+      std::snprintf(prefix, sizeof prefix, "node%u/flight/dropped", n);
+      metrics_.bind_gauge(prefix,
+                          [rec] { return static_cast<double>(rec->dropped()); });
+    }
   }
   if (fabric_->faults() != nullptr) {
     fabric_->faults()->bind_metrics(metrics_, "fabric/faults");
@@ -143,6 +170,7 @@ void Cluster::bind_all_metrics() {
 }
 
 bool Cluster::write_metrics_json(const std::string& path) {
+  flush_observability();
   std::vector<const nm::FlightRecorder*> recorders;
   recorders.reserve(flights_.size());
   for (const auto& f : flights_) recorders.push_back(f.get());

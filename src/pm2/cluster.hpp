@@ -130,6 +130,12 @@ class Cluster {
     return i < flights_.size() ? flights_[i].get() : nullptr;
   }
 
+  /// Fold open observability intervals into the registry: every core's
+  /// in-progress state interval (so per-core state counters sum to now())
+  /// and the lock profiler's per-site statistics.  Idempotent; called by
+  /// write_metrics_json and format_report before they read the registry.
+  void flush_observability();
+
   /// Write metrics.json (registry + attribution) to `path`.  Returns false
   /// on I/O failure.  Also runs automatically at destruction when the
   /// PM2_METRICS environment variable names a path.

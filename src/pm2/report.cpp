@@ -28,6 +28,7 @@ void appendf(std::string& out, const char* fmt, ...) {
 // below is a registry lookup, so anything the report can show is also in
 // metrics.json and the trace counter tracks (single source of truth).
 std::string format_report(Cluster& cluster) {
+  cluster.flush_observability();
   const MetricsRegistry& m = cluster.metrics();
   const auto v = [&m](const std::string& name) {
     return static_cast<unsigned long long>(m.value(name));
@@ -53,6 +54,38 @@ std::string format_report(Cluster& cluster) {
             static_cast<unsigned long long>(m.sum(cpus, "/tasklets_run")),
             static_cast<unsigned long long>(m.sum(cpus, "/ctx_switches")),
             static_cast<unsigned long long>(m.sum(cpus, "/steals")));
+
+    // Core-state timeline: where each core's sim-time went.
+    appendf(out,
+            "  core: app %.1f us, engine %.1f us, tasklet %.1f us, "
+            "idle %.1f us, blocked %.1f us\n",
+            to_us(m.sum(cpus, "/state/app_ns")),
+            to_us(m.sum(cpus, "/state/engine_ns")),
+            to_us(m.sum(cpus, "/state/tasklet_ns")),
+            to_us(m.sum(cpus, "/state/idle_ns")),
+            to_us(m.sum(cpus, "/state/blocked_ns")));
+
+    if (m.contains(node + "/locks/engine/acq")) {
+      const Log2Histogram* wait =
+          m.find_histogram(node + "/locks/engine/wait_us");
+      const Log2Histogram* hold =
+          m.find_histogram(node + "/locks/engine/hold_us");
+      appendf(out,
+              "  lock: engine %llu acq (%llu contended), "
+              "wait p99 %llu us, hold p99 %llu us\n",
+              v(node + "/locks/engine/acq"),
+              v(node + "/locks/engine/contended"),
+              static_cast<unsigned long long>(
+                  wait != nullptr ? wait->percentile(99) : 0),
+              static_cast<unsigned long long>(
+                  hold != nullptr ? hold->percentile(99) : 0));
+    }
+
+    if (m.contains(node + "/flight/dropped") &&
+        m.value(node + "/flight/dropped") > 0) {
+      appendf(out, "  flight: %llu records dropped (ring full)\n",
+              v(node + "/flight/dropped"));
+    }
 
     appendf(out,
             "  nm : %llu sends (%llu eager / %llu rdv), %llu recvs, "

@@ -88,6 +88,27 @@ TEST(Log2Histogram, MergeAddsPerBucket) {
   }
 }
 
+TEST(Log2Histogram, MergeOfEmptyIsIdentity) {
+  Log2Histogram a, empty;
+  for (std::uint64_t v : {1ull, 5ull, 100ull}) a.add(v);
+  const double p50_before = a.percentile(50);
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_DOUBLE_EQ(a.percentile(50), p50_before);
+
+  Log2Histogram b;
+  b.merge(a);  // merging into an empty histogram copies it
+  EXPECT_EQ(b.total(), a.total());
+  for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+    EXPECT_EQ(b.bucket_count(i), a.bucket_count(i)) << "bucket " << i;
+  }
+
+  Log2Histogram c, d;
+  c.merge(d);  // empty + empty stays empty, percentile stays 0
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_DOUBLE_EQ(c.percentile(99), 0.0);
+}
+
 TEST(Log2Histogram, PercentileBounds) {
   Log2Histogram h;
   EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);  // empty

@@ -2,7 +2,7 @@
 """Validate a pm2 metrics.json artefact (schema pm2-metrics-v1).
 
 Usage:
-    check_metrics.py METRICS_JSON [--expect-coll]
+    check_metrics.py METRICS_JSON [--expect-coll] [--expect-locks]
                      [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
@@ -13,7 +13,11 @@ app-driven run of the identical workload) — the paper's offload claim,
 checked in CI on every push.  With --expect-coll, additionally asserts
 that the collective engine ran: nodeN/coll counters present, every
 started collective completed, the op-kind counters add up, and the tag
-band advanced in lockstep on every node.
+band advanced in lockstep on every node.  With --expect-locks,
+additionally asserts that the lock profiler and core-state timeline are
+present and consistent: every node carries engine-lock acq/contended
+counters with wait/hold histograms whose totals match, and every core's
+five time-in-state counters sum exactly to the simulated time.
 """
 
 import json
@@ -131,6 +135,54 @@ def check_coll(path: str, doc: dict) -> None:
           f"{len(nodes)} nodes, {tags.pop()} tags in lockstep)")
 
 
+def check_locks(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    histograms = doc["metrics"]["histograms"]
+    nodes = sorted({name.split("/")[0] for name in counters
+                    if name.startswith("node") and "/locks/engine/" in name})
+    if not nodes:
+        fail(f"{path}: no nodeN/locks/engine counters (lock profiler off?)")
+    total_acq = total_contended = 0
+    for node in nodes:
+        pfx = f"{node}/locks/engine"
+        acq = counters.get(f"{pfx}/acq")
+        contended = counters.get(f"{pfx}/contended")
+        if not isinstance(acq, int) or acq <= 0:
+            fail(f"{path}: {pfx}/acq missing or zero")
+        if not isinstance(contended, int) or contended > acq:
+            fail(f"{path}: {pfx}/contended missing or > acq")
+        for hist, want in (("wait_us", contended), ("hold_us", acq)):
+            h = histograms.get(f"{pfx}/{hist}")
+            if not isinstance(h, dict):
+                fail(f"{path}: histogram {pfx}/{hist} absent")
+            if h.get("total") != want:
+                fail(f"{path}: {pfx}/{hist} total {h.get('total')} != {want}")
+        total_acq += acq
+        total_contended += contended
+    # Core-state timeline: the five buckets account for every simulated
+    # nanosecond on every core.  sim_time_us is printed with exactly three
+    # decimals, so the ns round-trip is lossless.
+    sim_ns = round(doc["sim_time_us"] * 1000)
+    states = ("idle", "app", "engine", "tasklet", "blocked")
+    cores = sorted({name.rsplit("/state/", 1)[0] for name in counters
+                    if "/state/" in name})
+    if not cores:
+        fail(f"{path}: no per-core state counters")
+    for core in cores:
+        total = 0
+        for state in states:
+            v = counters.get(f"{core}/state/{state}_ns")
+            if not isinstance(v, int):
+                fail(f"{path}: counter {core}/state/{state}_ns absent")
+            total += v
+        if total != sim_ns:
+            fail(f"{path}: {core} states sum to {total} ns, "
+                 f"expected {sim_ns} ns")
+    print(f"check_metrics: {path}: locks ok ({total_acq} engine-lock acq, "
+          f"{total_contended} contended on {len(nodes)} nodes; "
+          f"{len(cores)} cores' state buckets sum to {sim_ns} ns)")
+
+
 def main() -> None:
     args = sys.argv[1:]
     if not args or args[0] in ("-h", "--help"):
@@ -141,6 +193,9 @@ def main() -> None:
     if "--expect-coll" in args:
         check_coll(args[0], offload)
         args = [a for a in args if a != "--expect-coll"]
+    if "--expect-locks" in args:
+        check_locks(args[0], offload)
+        args = [a for a in args if a != "--expect-locks"]
     if len(args) >= 3 and args[1] == "--expect-offload-beats":
         baseline = check_document(args[2])
         off_crit = offload["attribution"]["critical_path_us"]["mean"]
