@@ -1,0 +1,239 @@
+// Service tail latency — many-client RPC scenario (§3.2 reactivity at
+// cluster scale): 64 simulated nodes, 4 of them RPC servers, 60 open-loop
+// Poisson clients firing requests at the servers.  Each request carries a
+// (precomputed, exponentially distributed, mean 8 us) service time; the
+// handler computes for that long and signals the client's completion.
+// Request latency = completion-signalled time minus issue time, i.e. it
+// includes the full round trip *and* how quickly the client side notices
+// the signal.
+//
+// That last part is the contest.  With PIOMan, idle cores on both sides
+// dispatch requests and deliver signals the moment they arrive.  In the
+// app-driven baseline the server burns a thread in a serve loop, and the
+// client only learns of completions inside its own library calls — a
+// signal that lands while the client sleeps until its next Poisson
+// arrival waits out the gap.  At moderate-to-high offered load the
+// difference shows up exactly where the paper says it does: the tail
+// (p99/p999 far above PIOMan's).
+//
+// Offered load rho is per-server utilization: each server sees
+// rho / mean_service requests per ns.  The sweep runs
+// rho in {0.30, 0.60, 0.85} x {pioman, appdriven}; everything (arrivals,
+// targets, service times) is drawn up front from one seeded Rng, so both
+// modes replay the identical workload and per-server request counts are
+// known exactly (the app-driven serve loops need them to terminate).
+//
+// `service_tail_latency --json <path>` writes the sweep as a pm2-bench-v1
+// trajectory record (see tools/bench_compare.py); p50/p99/p999 are gated
+// "lower".
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace pm2;
+using namespace pm2::bench;
+
+constexpr unsigned kNodes = 64;
+constexpr unsigned kServers = 4;   // nodes 0..3 serve; 4..63 are clients
+constexpr unsigned kPerClient = 25;
+constexpr double kMeanServiceNs = 8000.0;  // 8 us
+constexpr std::uint32_t kWork = 1;
+
+struct Request {
+  SimTime arrival = 0;            // scheduled issue time
+  unsigned server = 0;
+  std::uint64_t service_ns = 0;   // handler compute time
+};
+
+struct Workload {
+  std::vector<std::vector<Request>> per_client;  // [client][k]
+  std::vector<std::uint64_t> per_server;         // request counts
+};
+
+/// Draw the whole open-loop schedule up front so every mode replays it.
+Workload draw_workload(double rho, std::uint64_t seed) {
+  const unsigned clients = kNodes - kServers;
+  // Per-server arrival rate rho / S, split evenly across the clients.
+  const double mean_gap_ns =
+      static_cast<double>(clients) * kMeanServiceNs /
+      (static_cast<double>(kServers) * rho);
+  sim::Rng rng(seed);
+  Workload w;
+  w.per_client.resize(clients);
+  w.per_server.assign(kServers, 0);
+  for (unsigned c = 0; c < clients; ++c) {
+    double t = 0;
+    w.per_client[c].reserve(kPerClient);
+    for (unsigned k = 0; k < kPerClient; ++k) {
+      t += rng.exponential(mean_gap_ns);
+      Request r;
+      r.arrival = static_cast<SimTime>(t);
+      r.server = static_cast<unsigned>(rng.next_below(kServers));
+      r.service_ns =
+          1 + static_cast<std::uint64_t>(rng.exponential(kMeanServiceNs));
+      ++w.per_server[r.server];
+      w.per_client[c].push_back(r);
+    }
+  }
+  return w;
+}
+
+struct TailCase {
+  double p50_us = 0, p99_us = 0, p999_us = 0, mean_us = 0;
+  double queue_depth_max = 0;  // worst undispatched backlog on any server
+  ClusterObs obs;
+};
+
+double pct(const std::vector<SimDuration>& sorted, double q) {
+  const std::size_t i = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return to_us(sorted[std::min(i, sorted.size() - 1)]);
+}
+
+TailCase run_case(const Workload& w, bool pioman) {
+  ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.cpus_per_node = 4;
+  cfg.pioman = pioman;
+  cfg.rpc = true;
+  Cluster cluster(cfg);
+
+  for (unsigned s = 0; s < kServers; ++s) {
+    cluster.rpc(s).register_service(kWork, [](rpc::Context& ctx) {
+      const std::uint64_t work = ctx.args().u64();
+      const rpc::CompletionRef done = ctx.args().completion();
+      marcel::this_thread::compute(work);
+      ctx.engine().signal(done);
+    });
+  }
+  if (!pioman) {
+    for (unsigned s = 0; s < kServers; ++s) {
+      cluster.run_on(
+          s,
+          [&cluster, s, target = w.per_server[s]] {
+            cluster.rpc(s).serve_until_handlers_done(target);
+          },
+          "serve");
+    }
+  }
+
+  const unsigned clients = kNodes - kServers;
+  std::vector<std::vector<SimDuration>> lat(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    const unsigned node = kServers + c;
+    cluster.run_on(node, [&cluster, &w, &lat, c, node] {
+      rpc::Engine& eng = cluster.rpc(node);
+      const auto& reqs = w.per_client[c];
+      std::vector<std::unique_ptr<rpc::Completion>> done;
+      std::vector<SimTime> issued;
+      done.reserve(reqs.size());
+      issued.reserve(reqs.size());
+      // Open loop: issue on the Poisson schedule no matter how slow the
+      // responses are (under overload the issue time drifts past the
+      // scheduled arrival; latency is measured from the actual issue).
+      for (const Request& r : reqs) {
+        const SimTime now = cluster.now();
+        if (r.arrival > now) marcel::this_thread::sleep(r.arrival - now);
+        auto comp = std::make_unique<rpc::Completion>(eng);
+        issued.push_back(cluster.now());
+        eng.call(r.server, kWork, [&](rpc::ArgWriter& aw) {
+          aw.u64(r.service_ns);
+          aw.completion(comp->ref());
+        });
+        done.push_back(std::move(comp));
+      }
+      lat[c].reserve(reqs.size());
+      for (std::size_t k = 0; k < done.size(); ++k) {
+        done[k]->wait();
+        lat[c].push_back(done[k]->done_at() - issued[k]);
+      }
+    });
+  }
+  cluster.run();
+
+  std::vector<SimDuration> all;
+  all.reserve(clients * kPerClient);
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  TailCase r;
+  double sum = 0;
+  for (const SimDuration d : all) sum += to_us(d);
+  r.mean_us = sum / static_cast<double>(all.size());
+  r.p50_us = pct(all, 0.50);
+  r.p99_us = pct(all, 0.99);
+  r.p999_us = pct(all, 0.999);
+  for (unsigned s = 0; s < kServers; ++s) {
+    r.queue_depth_max =
+        std::max(r.queue_depth_max,
+                 static_cast<double>(cluster.rpc(s).stats().queue_depth_max));
+  }
+  r.obs = observe(cluster);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
+
+  std::printf(
+      "Service tail latency: %u nodes (%u servers, %u open-loop Poisson\n"
+      "clients), exponential service (mean %.0f us), %u requests/client.\n",
+      kNodes, kServers, kNodes - kServers, kMeanServiceNs / 1000.0,
+      kPerClient);
+  print_header("RPC tail latency vs offered load",
+               {"case", "mean(us)", "p50(us)", "p99(us)", "p999(us)",
+                "srv queue max"});
+  BenchJson json("service_tail_latency");
+  for (const double rho : {0.30, 0.60, 0.85}) {
+    // One workload per load point, replayed identically in both modes.
+    const Workload w = draw_workload(rho, 0x5eed + static_cast<int>(rho * 100));
+    for (const bool pioman : {true, false}) {
+      const TailCase r = run_case(w, pioman);
+      const std::string name =
+          std::string(pioman ? "pioman" : "appdriven") + "_load" +
+          std::to_string(static_cast<int>(rho * 100));
+      print_cell(name);
+      print_cell(r.mean_us);
+      print_cell(r.p50_us);
+      print_cell(r.p99_us);
+      print_cell(r.p999_us);
+      print_cell(r.queue_depth_max);
+      end_row();
+      json.begin_case(name);
+      json.metric("mean_us", r.mean_us, "lower");
+      json.metric("p50_us", r.p50_us, "lower");
+      json.metric("p99_us", r.p99_us, "lower");
+      json.metric("p999_us", r.p999_us, "lower");
+      json.metric("server_queue_depth_max", r.queue_depth_max);
+      json.metrics_from(r.obs);
+    }
+  }
+  std::printf(
+      "\nExpected shape: PIOMan holds p50 near the round trip + service\n"
+      "time at every load point and keeps the tail within a few service\n"
+      "times (idle cores dispatch requests and deliver completion signals\n"
+      "the moment they arrive).  The app-driven baseline sits orders of\n"
+      "magnitude higher across the board: a completion signal is only\n"
+      "noticed inside the client's next library call, so latency tracks\n"
+      "the client's Poisson arrival gap (which is why it *improves* as\n"
+      "offered load rises — busier clients re-enter the library sooner),\n"
+      "never approaching PIOMan.\n");
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

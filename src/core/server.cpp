@@ -86,13 +86,22 @@ void Server::set_block_support(BlockSupport support) {
   block_support_ = std::move(support);
 }
 
-void Server::set_work_probe(std::function<bool()> probe) {
-  work_probe_ = std::move(probe);
+int Server::add_work_probe(std::function<bool()> probe) {
+  const int id = next_probe_id_++;
+  work_probes_.emplace_back(id, std::move(probe));
+  return id;
+}
+
+void Server::remove_work_probe(int id) {
+  std::erase_if(work_probes_, [id](const auto& e) { return e.first == id; });
 }
 
 bool Server::has_work() const {
-  return armed_ > 0 || !posted_.empty() ||
-         (work_probe_ != nullptr && work_probe_());
+  if (armed_ > 0 || !posted_.empty()) return true;
+  for (const auto& [id, probe] : work_probes_) {
+    if (probe()) return true;
+  }
+  return false;
 }
 
 void Server::arm() {

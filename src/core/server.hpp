@@ -76,9 +76,13 @@ class Server {
   void set_block_support(BlockSupport support);
 
   /// Cheap engine-context probe for externally visible work (e.g. packets
-  /// sitting in a NIC receive queue with no local request armed yet).
-  /// Idle cores keep polling while it returns true.
-  void set_work_probe(std::function<bool()> probe);
+  /// sitting in a NIC receive queue with no local request armed yet, or
+  /// unexpected RPC-band messages awaiting dispatch).  Idle cores keep
+  /// polling while any registered probe returns true.  Multiple layers
+  /// (Core, RpcEngine, ...) each add their own; a layer that dies before
+  /// the server must remove its probe (it captures the layer's state).
+  int add_work_probe(std::function<bool()> probe);
+  void remove_work_probe(int id);
 
   // ---- event posting ----
 
@@ -188,7 +192,8 @@ class Server {
   [[nodiscard]] bool has_work() const;
 
   BlockSupport block_support_;
-  std::function<bool()> work_probe_;
+  std::vector<std::pair<int, std::function<bool()>>> work_probes_;
+  int next_probe_id_ = 1;
   bool interrupts_enabled_ = false;
   Method method_ = Method::kPolling;
 

@@ -164,4 +164,9 @@ void Node::reap_finished() {
   std::erase_if(threads_, [](const auto& t) { return t->finished(); });
 }
 
+void Node::reap(Thread& t) {
+  PM2_ASSERT_MSG(t.finished(), "reap of a live thread");
+  std::erase_if(threads_, [&t](const auto& p) { return p.get() == &t; });
+}
+
 }  // namespace pm2::marcel

@@ -88,6 +88,12 @@ class Node {
   /// callers must have joined them first.
   void reap_finished();
 
+  /// Free one finished thread.  Unlike reap_finished() this leaves every
+  /// other finished thread's handle valid, so a subsystem that spawns
+  /// many short-lived threads (the RPC dispatcher) can recycle its own
+  /// without invalidating handles the application still holds.
+  void reap(Thread& t);
+
  private:
   friend class Cpu;
 

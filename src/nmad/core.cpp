@@ -66,7 +66,7 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
         [this](marcel::Cpu& cpu) { return progress(cpu); });
     // Idle cores keep polling while packets sit in a local NIC queue even
     // if no local request is armed yet (unexpected-message processing).
-    server_->set_work_probe([this] {
+    probe_id_ = server_->add_work_probe([this] {
       for (unsigned r = 0; r < fabric_.rails(); ++r) {
         if (fabric_.nic(node_id(), r).rx_pending()) return true;
       }
@@ -98,7 +98,10 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
 
 Core::~Core() {
   if (elock_ != nullptr) lock_profile::unregister_site(elock_.get());
-  if (server_ != nullptr) server_->unregister_ltask(ltask_id_);
+  if (server_ != nullptr) {
+    server_->unregister_ltask(ltask_id_);
+    server_->remove_work_probe(probe_id_);
+  }
 }
 
 // -------------------------------------------------------- request recycling
@@ -276,6 +279,7 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
     std::memcpy(buffer.data(), payload.data(), payload.size());
     req->received_len = payload.size();
     unexpected_.erase(it);
+    if (tag >= kRpcTagBase) --rpc_unexpected_;
     complete(*req);
     trace_span("nm:irecv", t0);
     return req;
@@ -283,6 +287,7 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
     const UnexpectedRts rts = it->second;
     unexpected_rts_.erase(it);
+    if (tag >= kRpcTagBase) --rpc_unexpected_;
     start_rdv_recv(*req, src, rts.rdv, rts.size, rts.arrived_at);
     trace_span("nm:irecv", t0);
     return req;
@@ -375,9 +380,9 @@ void Core::set_continuation(Request* req, std::function<void()> fn) {
 Tag Core::alloc_coll_tags(std::uint32_t count) {
   PM2_ASSERT(count > 0);
   const std::uint64_t base = kCollTagBase + coll_tag_cursor_;
-  PM2_ASSERT_MSG(base + count <= (1ull << 32),
-                 "collective tag band exhausted (wrap would collide with "
-                 "in-flight collectives)");
+  PM2_ASSERT_MSG(base + count <= kRpcTagBase,
+                 "collective tag band exhausted (growth would collide with "
+                 "the reserved RPC band at kRpcTagBase)");
   coll_tag_cursor_ += count;
   return static_cast<Tag>(base);
 }
@@ -390,6 +395,28 @@ bool Core::probe(unsigned src, Tag tag) const {
   const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
   const MatchKey key{src, tag, next};
   return unexpected_.contains(key) || unexpected_rts_.contains(key);
+}
+
+std::optional<std::pair<unsigned, Tag>> Core::pop_rpc_pending() {
+  EngineLockGuard lg(elock_.get());
+  if (rpc_pending_.empty()) return std::nullopt;
+  const auto key = rpc_pending_.front();
+  rpc_pending_.pop_front();
+  return key;
+}
+
+std::optional<std::uint32_t> Core::probe_size(unsigned src, Tag tag) const {
+  EngineLockGuard lg(elock_.get());
+  const auto flow = flows_.find({src, tag});
+  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
+  const MatchKey key{src, tag, next};
+  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+    return static_cast<std::uint32_t>(it->second.payload.size());
+  }
+  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
+    return it->second.size;
+  }
+  return std::nullopt;
 }
 
 bool Core::progress(marcel::Cpu&) {
@@ -615,6 +642,10 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
     unexpected_.emplace(
         key, UnexpectedEager{{payload.begin(), payload.end()}, t0});
     ++stats_.unexpected_eager;
+    if (hdr.tag >= kRpcTagBase) {
+      ++rpc_unexpected_;
+      rpc_pending_.emplace_back(src, hdr.tag);
+    }
   }
   const SimTime mid = trace_span("nm:deliver", t0);
   trace_flow("wire", mid, wire_flow_id(src, node_id(), hdr.tag, hdr.seq),
@@ -631,6 +662,10 @@ void Core::handle_rts(unsigned src, const WireHeader& hdr) {
   } else {
     unexpected_rts_.emplace(key, UnexpectedRts{hdr.rdv, hdr.size, now});
     ++stats_.unexpected_rts;
+    if (hdr.tag >= kRpcTagBase) {
+      ++rpc_unexpected_;
+      rpc_pending_.emplace_back(src, hdr.tag);
+    }
   }
 }
 

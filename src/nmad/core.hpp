@@ -12,6 +12,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <tuple>
@@ -91,6 +92,27 @@ class Core {
   /// buffered — an irecv would complete without waiting.  Non-consuming.
   [[nodiscard]] bool probe(unsigned src, Tag tag) const;
 
+  /// Payload size of the buffered message the next irecv(src, tag) would
+  /// match, or nullopt when nothing is buffered.  Non-consuming; lets a
+  /// dispatcher (the RPC engine) post an exactly-sized receive for a
+  /// message it did not expect.
+  [[nodiscard]] std::optional<std::uint32_t> probe_size(unsigned src,
+                                                        Tag tag) const;
+
+  /// Number of unexpected messages (eager or RTS) currently buffered on
+  /// RPC-band tags (>= kRpcTagBase).  O(1); feeds the RPC engine's
+  /// PIOMan work probe so idle cores keep polling while undispatched
+  /// requests sit in the unexpected store.
+  [[nodiscard]] std::size_t rpc_unexpected() const noexcept {
+    return rpc_unexpected_;
+  }
+
+  /// Pop one (src, tag) for which an RPC-band message was buffered
+  /// unexpected.  Entries can be stale — the message may already have
+  /// been matched — so callers must re-check with probe_size() before
+  /// posting a receive.  nullopt when nothing is queued.
+  [[nodiscard]] std::optional<std::pair<unsigned, Tag>> pop_rpc_pending();
+
   /// Attach a continuation to `req` instead of wait()ing on it: `fn` runs
   /// exactly once when the request completes — possibly immediately, if it
   /// already has — and the request is recycled right before `fn` executes
@@ -101,11 +123,17 @@ class Core {
   /// schedule DAGs are driven by.
   void set_continuation(Request* req, std::function<void()> fn);
 
-  // ---------------- collective tag band ----------------
+  // ---------------- reserved tag bands ----------------
 
   /// Tags at or above this value are reserved for the collective engine;
   /// user-facing layers must stay below (see mpi::Comm::kUserTagLimit).
   static constexpr Tag kCollTagBase = 1u << 24;
+
+  /// Tags at or above this value are reserved for the RPC service layer
+  /// (pm2::RpcEngine): request, completion-signal and future control
+  /// channels.  The collective band grows upward from kCollTagBase and
+  /// must stay below this line (enforced in alloc_coll_tags).
+  static constexpr Tag kRpcTagBase = 0xC0000000u;
 
   /// Reserve `count` consecutive tags from the collective band.  Every
   /// rank allocates blocks in the same order with the same sizes (MPI
@@ -269,8 +297,11 @@ class Core {
   std::map<std::uint64_t, Request*> rdma_recvs_;  // handle -> recv request
   std::uint64_t next_rdv_ = 1;
   std::uint64_t coll_tag_cursor_ = 0;  // next unused offset into the band
+  std::size_t rpc_unexpected_ = 0;     // buffered unexpecteds on rpc band
+  std::deque<std::pair<unsigned, Tag>> rpc_pending_;  // their (src, tag)
 
   int ltask_id_ = 0;
+  int probe_id_ = 0;
 
   std::deque<std::unique_ptr<Request>> pool_;
   std::vector<Request*> freelist_;

@@ -17,6 +17,8 @@
 #include <memory>
 #include <span>
 
+#include "common/assert.hpp"
+
 #include "nmad/coll/coll.hpp"
 #include "nmad/core.hpp"
 
@@ -140,7 +142,15 @@ class Comm {
 
  private:
   [[nodiscard]] static nm::Tag user_tag(int tag) noexcept {
-    return static_cast<nm::Tag>(tag) % kUserTagLimit;
+    // Reject instead of wrapping: `tag % kUserTagLimit` silently aliased
+    // distinct user tags that collide mod the limit (and mapped negative
+    // tags somewhere surprising), corrupting matching.
+    PM2_ASSERT_MSG(tag >= 0, "negative MPI tag");
+    PM2_ASSERT_MSG(static_cast<nm::Tag>(tag) < kUserTagLimit,
+                   "user tag outside the user band (>= kUserTagLimit); "
+                   "tags at or above 2^24 are reserved for collectives "
+                   "and RPC");
+    return static_cast<nm::Tag>(tag);
   }
 
   nm::Core* core_;

@@ -62,6 +62,12 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     colls_.push_back(
         std::make_shared<nm::coll::Engine>(*cores_[i], cfg_.nodes));
   }
+  if (cfg_.rpc) {
+    rpcs_.reserve(cfg_.nodes);
+    for (unsigned i = 0; i < cfg_.nodes; ++i) {
+      rpcs_.push_back(std::make_unique<rpc::Engine>(*cores_[i]));
+    }
+  }
   if (!cfg_.faults.empty()) {
     // A single top-level seed keeps lossy runs reproducible; the env
     // override lets CLI benches replay a schedule without recompiling.
@@ -145,6 +151,10 @@ void Cluster::bind_all_metrics() {
     cores_[n]->bind_metrics(metrics_, prefix);
     std::snprintf(prefix, sizeof prefix, "node%u/coll", n);
     colls_[n]->bind_metrics(metrics_, prefix);
+    if (n < rpcs_.size()) {
+      std::snprintf(prefix, sizeof prefix, "node%u/rpc", n);
+      rpcs_[n]->bind_metrics(metrics_, prefix);
+    }
     if (const nm::Reliability* rel = cores_[n]->reliability()) {
       std::snprintf(prefix, sizeof prefix, "node%u/reliable", n);
       rel->bind_metrics(metrics_, prefix);

@@ -22,6 +22,8 @@
 #include "netsim/fabric.hpp"
 #include "nmad/coll/coll.hpp"
 #include "nmad/core.hpp"
+#include "pm2/completion.hpp"
+#include "pm2/rpc.hpp"
 #include "sim/engine.hpp"
 
 namespace pm2 {
@@ -48,6 +50,12 @@ struct ClusterConfig {
   /// plan installs nothing — the fabric keeps its zero-overhead fast path.
   /// The injector is seeded from nm.fault_seed (PM2_FAULT_SEED overrides).
   net::FaultPlan faults;
+
+  /// Per-node RPC + remotable-completion engines (see pm2/rpc.hpp),
+  /// reachable via Cluster::rpc(i) and bound as "nodeN/rpc/*" metrics.
+  /// Off by default: the engines register a PIOMan poll source per node,
+  /// and workloads that issue no RPCs should not pay for it.
+  bool rpc = false;
 
   /// Record per-request lifecycle stamps into per-node FlightRecorders for
   /// the attribution pass (see nmad/flight.hpp).  Also enabled implicitly
@@ -94,6 +102,12 @@ class Cluster {
   [[nodiscard]] std::shared_ptr<nm::coll::Engine> coll_ptr(
       unsigned i) noexcept {
     return colls_[i];
+  }
+  /// Node `i`'s RPC engine (requires ClusterConfig::rpc).  Its counters
+  /// are bound under "nodeN/rpc" in metrics().
+  [[nodiscard]] rpc::Engine& rpc(unsigned i) noexcept {
+    PM2_ASSERT_MSG(i < rpcs_.size(), "ClusterConfig::rpc is off");
+    return *rpcs_[i];
   }
 
   /// Spawn an application thread on node `i`.
@@ -154,6 +168,7 @@ class Cluster {
   // Declared after cores_ so the engines (whose destructors unregister
   // their poll source) die before the cores and servers they reference.
   std::vector<std::shared_ptr<nm::coll::Engine>> colls_;
+  std::vector<std::unique_ptr<rpc::Engine>> rpcs_;
   std::vector<std::unique_ptr<nm::FlightRecorder>> flights_;
   MetricsRegistry metrics_;
   std::unique_ptr<sim::Tracer> env_tracer_;

@@ -1,0 +1,83 @@
+// Remotable completion objects — the PM2 synchronisation primitive RPC
+// handlers signal when their work is done (pm2_completion in the original
+// API).  A Completion lives on the node that will wait on it; its ref()
+// is a small plain-data handle that can be marshalled into an RPC,
+// forwarded through any number of intermediate nodes and handler threads,
+// and finally signalled from wherever the work ends up — the signal
+// travels back to the home node as a message on the RPC signal channel
+// and wakes the original waiter.
+//
+//   rpc::Completion c(engine);              // count = 1
+//   engine.call(dst, kService, [&](rpc::ArgWriter& w) {
+//     w.completion(c.ref());                // hand the handle over
+//   });
+//   c.wait();                               // until some node signals it
+//
+// The counted variant (count > 1) supports fan-out: one waiter, N
+// workers, each signalling the same forwarded ref once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/simtime.hpp"
+#include "core/cond.hpp"
+
+namespace pm2::rpc {
+
+class Engine;
+
+/// Wire handle for a Completion: home node + per-node id.  Plain data —
+/// marshal with ArgWriter::completion / ArgReader::completion, copy and
+/// forward freely.
+struct CompletionRef {
+  std::uint32_t home = 0;  // node the Completion (and its waiter) live on
+  std::uint64_t id = 0;    // registry key on that node
+};
+
+class Completion {
+ public:
+  /// Registers with `engine`'s completion registry.  `count` signals must
+  /// arrive (with signal deltas summing to it) before wait() returns.
+  explicit Completion(Engine& engine, std::uint32_t count = 1);
+
+  /// The completion must be signalled before destruction — a pending
+  /// remote signal to a dead completion would fault on arrival.
+  ~Completion();
+
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  /// The forwardable wire handle.
+  [[nodiscard]] CompletionRef ref() const noexcept;
+
+  /// Block the calling marcel thread until the count is exhausted.  With
+  /// PIOMan the waiter parks on a piom::Cond (and participates in
+  /// polling); in app-driven mode the waiter performs the progression
+  /// itself — signals only arrive while somebody calls into the library.
+  void wait();
+
+  [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
+  [[nodiscard]] std::uint32_t remaining() const noexcept {
+    return remaining_;
+  }
+  /// Virtual time the last required signal was delivered (0 until done).
+  /// Latency benches read `done_at() - issue time` without having to wake
+  /// a thread per request.
+  [[nodiscard]] SimTime done_at() const noexcept { return done_at_; }
+
+ private:
+  friend class Engine;
+
+  /// Called by the engine on the home node (local signal or arrived
+  /// signal message).  Engine-context safe: never blocks or charges.
+  void deliver(std::uint32_t delta);
+
+  Engine& engine_;
+  std::uint64_t id_ = 0;
+  std::uint32_t remaining_ = 0;
+  SimTime done_at_ = 0;
+  std::optional<piom::Cond> cond_;  // PIOMan mode only
+};
+
+}  // namespace pm2::rpc

@@ -57,7 +57,7 @@ TEST(PiomPolicies, WorkProbeKeepsPolling) {
   int probe_calls = 0;
   int polls = 0;
   bool external_work = true;
-  m.server.set_work_probe([&] {
+  m.server.add_work_probe([&] {
     ++probe_calls;
     return external_work;
   });
@@ -76,7 +76,7 @@ TEST(PiomPolicies, NotifyWorkWakesParkedCores) {
   Machine m(2);
   int polls = 0;
   bool have_work = false;
-  m.server.set_work_probe([&] { return have_work; });
+  m.server.add_work_probe([&] { return have_work; });
   m.server.register_ltask([&](marcel::Cpu&) {
     ++polls;
     have_work = false;

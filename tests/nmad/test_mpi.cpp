@@ -276,6 +276,65 @@ TEST_P(MpiWorld, SendrecvRingRotation) {
   }
 }
 
+// Regression: user tags used to be folded into the band with
+// `tag % kUserTagLimit`, so tag T and T + kUserTagLimit silently matched
+// each other's traffic (and could collide with reserved collective/RPC
+// tags after the fold).  Out-of-band tags must now be rejected loudly.
+
+TEST(MpiTagBand, HighestUserTagStillWorks) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.pioman = true;
+  Cluster cluster(cfg);
+  Comm c0(cluster.comm(0), 2);
+  Comm c1(cluster.comm(1), 2);
+  const int top = static_cast<int>(Comm::kUserTagLimit) - 1;
+  std::vector<std::byte> out(16, std::byte{7});
+  std::vector<std::byte> in(16);
+  cluster.run_on(0, [&] { c0.send(1, top, out); });
+  cluster.run_on(1, [&] { c1.recv(0, top, in); });
+  cluster.run();
+  EXPECT_EQ(in[0], std::byte{7});
+}
+
+TEST(MpiTagBand, TagAtUserLimitAborts) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.pioman = true;
+  Cluster cluster(cfg);
+  Comm comm(cluster.comm(0), 2);
+  std::vector<std::byte> buf(16);
+  cluster.run_on(0, [&] {
+    (void)comm.isend(1, static_cast<int>(Comm::kUserTagLimit), buf);
+  });
+  EXPECT_DEATH(cluster.run(), "user band");
+}
+
+TEST(MpiTagBand, AliasedTagAboveLimitAborts) {
+  // Pre-fix, kUserTagLimit + 3 folded onto tag 3 and matched it.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.pioman = true;
+  Cluster cluster(cfg);
+  Comm comm(cluster.comm(1), 2);
+  std::vector<std::byte> buf(16);
+  cluster.run_on(1, [&] {
+    (void)comm.irecv(0, static_cast<int>(Comm::kUserTagLimit) + 3, buf);
+  });
+  EXPECT_DEATH(cluster.run(), "user band");
+}
+
+TEST(MpiTagBand, NegativeTagAborts) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.pioman = true;
+  Cluster cluster(cfg);
+  Comm comm(cluster.comm(0), 2);
+  std::vector<std::byte> buf(16);
+  cluster.run_on(0, [&] { (void)comm.isend(1, -1, buf); });
+  EXPECT_DEATH(cluster.run(), "negative");
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Worlds, MpiWorld,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u),

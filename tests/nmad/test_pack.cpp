@@ -109,6 +109,125 @@ TEST_P(PackModes, ManyPacksSequential) {
   cluster.run();
 }
 
+TEST_P(PackModes, ZeroLengthSegmentsRoundTrip) {
+  // Degenerate gather entries: empty segments between real ones, and a
+  // message whose every segment (hence the wire payload) is empty.  Both
+  // must match the mirrored unpack layout and deliver.
+  Cluster cluster(cfg(GetParam()));
+  const auto a = filled(64, 1);
+  const auto b = filled(9, 2);
+  std::vector<std::byte> ra(64), rb(9);
+  std::vector<std::byte> none;
+  bool empty_msg_arrived = false;
+  cluster.run_on(0, [&] {
+    Pack pack(cluster.comm(0), 1, 5);
+    pack.add(none);  // leading empty
+    pack.add(a);
+    pack.add(none);  // interior empty
+    pack.add(b);
+    EXPECT_EQ(pack.segments(), 4u);
+    EXPECT_EQ(pack.size(), 73u);
+    cluster.comm(0).wait(pack.send());
+
+    Pack empty_pack(cluster.comm(0), 1, 6);
+    empty_pack.add(none);
+    EXPECT_EQ(empty_pack.size(), 0u);
+    cluster.comm(0).wait(empty_pack.send());
+  });
+  cluster.run_on(1, [&] {
+    std::vector<std::byte> rnone;
+    Unpack unpack(cluster.comm(1), 0, 5);
+    unpack.add(rnone);
+    unpack.add(ra);
+    unpack.add(rnone);
+    unpack.add(rb);
+    unpack.recv_and_wait();
+
+    Unpack empty_unpack(cluster.comm(1), 0, 6);
+    empty_unpack.add(rnone);
+    empty_unpack.recv_and_wait();
+    empty_msg_arrived = true;
+  });
+  cluster.run();
+  EXPECT_EQ(ra, a);
+  EXPECT_EQ(rb, b);
+  EXPECT_TRUE(empty_msg_arrived);
+}
+
+TEST_P(PackModes, NestedPacksInterleaveOnDistinctTags) {
+  // Two packs built concurrently on the same node pair, added to in
+  // alternation and sent in the *reverse* of construction order.  Tags
+  // keep the channels apart, so each unpack sees its own layout intact.
+  Cluster cluster(cfg(GetParam()));
+  const auto outer_h = filled(32, 1), outer_b = filled(900, 2);
+  const auto inner_h = filled(8, 3), inner_b = filled(300, 4);
+  std::vector<std::byte> roh(32), rob(900), rih(8), rib(300);
+  cluster.run_on(0, [&] {
+    Pack outer(cluster.comm(0), 1, 5);
+    outer.add(outer_h);
+    Pack inner(cluster.comm(0), 1, 6);  // nested: opened before outer sends
+    inner.add(inner_h);
+    outer.add(outer_b);
+    inner.add(inner_b);
+    Request* rin = inner.send();  // innermost completes first
+    Request* rout = outer.send();
+    cluster.comm(0).wait(rin);
+    cluster.comm(0).wait(rout);
+  });
+  cluster.run_on(1, [&] {
+    Unpack inner(cluster.comm(1), 0, 6);
+    inner.add(rih);
+    inner.add(rib);
+    Unpack outer(cluster.comm(1), 0, 5);
+    outer.add(roh);
+    outer.add(rob);
+    inner.recv_and_wait();
+    outer.recv_and_wait();
+  });
+  cluster.run();
+  EXPECT_EQ(roh, outer_h);
+  EXPECT_EQ(rob, outer_b);
+  EXPECT_EQ(rih, inner_h);
+  EXPECT_EQ(rib, inner_b);
+}
+
+TEST_P(PackModes, PayloadsStraddlingRdvThreshold) {
+  // One byte below, exactly at, and one byte above the rendezvous
+  // threshold: the strict `size > threshold` comparison keeps the first
+  // two eager; only the third pays the handshake.
+  Cluster cluster(cfg(GetParam()));
+  const std::size_t thr = 32 * 1024;  // ClusterConfig default rdv_threshold
+  const std::vector<std::size_t> sizes = {thr - 1, thr, thr + 1};
+  std::vector<std::vector<std::byte>> tx, rx;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    tx.push_back(filled(sizes[i], static_cast<int>(i) + 1));
+    rx.emplace_back(sizes[i]);
+  }
+  std::vector<std::uint64_t> rdv_after(sizes.size(), 0);
+  cluster.run_on(0, [&] {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      Pack pack(cluster.comm(0), 1, 5);
+      pack.add(tx[i]);
+      cluster.comm(0).wait(pack.send());
+      rdv_after[i] = cluster.comm(0).stats().rdv_sends;
+    }
+  });
+  cluster.run_on(1, [&] {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      Unpack unpack(cluster.comm(1), 0, 5);
+      unpack.add(rx[i]);
+      unpack.recv_and_wait();
+    }
+  });
+  cluster.run();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(rx[i], tx[i]) << "size " << sizes[i];
+  }
+  EXPECT_EQ(rdv_after[0], 0u) << "threshold - 1 must stay eager";
+  EXPECT_EQ(rdv_after[1], 0u) << "exactly threshold must stay eager";
+  EXPECT_EQ(rdv_after[2], 1u) << "threshold + 1 must take the handshake";
+}
+
 TEST_P(PackModes, LayoutMismatchAborts) {
   Cluster cluster(cfg(GetParam()));
   const auto data = filled(100, 1);

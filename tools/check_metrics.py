@@ -3,7 +3,7 @@
 
 Usage:
     check_metrics.py METRICS_JSON [--expect-coll] [--expect-locks]
-                     [--expect-offload-beats BASELINE_JSON]
+                     [--expect-rpc] [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
 the attribution numbers are internally consistent.  With
@@ -17,7 +17,12 @@ band advanced in lockstep on every node.  With --expect-locks,
 additionally asserts that the lock profiler and core-state timeline are
 present and consistent: every node carries engine-lock acq/contended
 counters with wait/hold histograms whose totals match, and every core's
-five time-in-state counters sum exactly to the simulated time.
+five time-in-state counters sum exactly to the simulated time.  With
+--expect-rpc, additionally asserts that the RPC layer ran and conserved
+its work: globally every issued call was dispatched exactly once and
+every signal sent was delivered; per node every dispatch spawned a
+handler that finished, every completion was satisfied, nothing is left
+queued, and the handler-latency histogram accounts for every handler.
 """
 
 import json
@@ -183,6 +188,58 @@ def check_locks(path: str, doc: dict) -> None:
           f"{len(cores)} cores' state buckets sum to {sim_ns} ns)")
 
 
+def check_rpc(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    gauges = doc["metrics"]["gauges"]
+    histograms = doc["metrics"]["histograms"]
+    nodes = sorted({name.split("/")[0] for name in counters
+                    if "/rpc/" in name})
+    if not nodes:
+        fail(f"{path}: no nodeN/rpc counters (rpc engine not bound)")
+    issued = dispatched = sig_sent = sig_delivered = 0
+    for node in nodes:
+        pfx = f"{node}/rpc"
+        for req in ("issued", "dispatched", "handler_spawns",
+                    "handlers_done", "completions_created",
+                    "completions_done", "signals_sent", "signals_delivered",
+                    "queue_depth_max"):
+            if f"{pfx}/{req}" not in counters:
+                fail(f"{path}: counter {pfx}/{req} absent")
+        if not (counters[f"{pfx}/dispatched"]
+                == counters[f"{pfx}/handler_spawns"]
+                == counters[f"{pfx}/handlers_done"]):
+            fail(f"{path}: {pfx}: dispatched/spawned/done disagree "
+                 f"({counters[f'{pfx}/dispatched']}, "
+                 f"{counters[f'{pfx}/handler_spawns']}, "
+                 f"{counters[f'{pfx}/handlers_done']})")
+        if (counters[f"{pfx}/completions_created"]
+                != counters[f"{pfx}/completions_done"]):
+            fail(f"{path}: {pfx}: completions created != done "
+                 f"({counters[f'{pfx}/completions_created']} vs "
+                 f"{counters[f'{pfx}/completions_done']})")
+        if gauges.get(f"{pfx}/queue_depth") != 0:
+            fail(f"{path}: {pfx}: undispatched messages left in the inbox "
+                 f"({gauges.get(f'{pfx}/queue_depth')})")
+        h = histograms.get(f"{pfx}/handler_ns")
+        if not isinstance(h, dict):
+            fail(f"{path}: histogram {pfx}/handler_ns absent")
+        if h.get("total") != counters[f"{pfx}/handlers_done"]:
+            fail(f"{path}: {pfx}/handler_ns total {h.get('total')} != "
+                 f"handlers_done {counters[f'{pfx}/handlers_done']}")
+        issued += counters[f"{pfx}/issued"]
+        dispatched += counters[f"{pfx}/dispatched"]
+        sig_sent += counters[f"{pfx}/signals_sent"]
+        sig_delivered += counters[f"{pfx}/signals_delivered"]
+    if issued == 0:
+        fail(f"{path}: no RPCs ran")
+    if issued != dispatched:
+        fail(f"{path}: {issued} RPCs issued but {dispatched} dispatched")
+    if sig_sent != sig_delivered:
+        fail(f"{path}: {sig_sent} signals sent but {sig_delivered} delivered")
+    print(f"check_metrics: {path}: rpc ok ({issued} calls dispatched, "
+          f"{sig_sent} signals delivered on {len(nodes)} nodes)")
+
+
 def main() -> None:
     args = sys.argv[1:]
     if not args or args[0] in ("-h", "--help"):
@@ -196,6 +253,9 @@ def main() -> None:
     if "--expect-locks" in args:
         check_locks(args[0], offload)
         args = [a for a in args if a != "--expect-locks"]
+    if "--expect-rpc" in args:
+        check_rpc(args[0], offload)
+        args = [a for a in args if a != "--expect-rpc"]
     if len(args) >= 3 and args[1] == "--expect-offload-beats":
         baseline = check_document(args[2])
         off_crit = offload["attribution"]["critical_path_us"]["mean"]
