@@ -102,6 +102,30 @@ int main(int argc, char** argv) {
     json.metric("offl_bg_us", offl.offl_us);
     json.metrics_from(obs);  // lock + core-state numbers of the offload run
   }
+  {
+    // Tracing-overhead gate: causal-trace records charge no virtual time,
+    // so the traced run must reproduce the untraced schedule (ratio 1.0).
+    // Anything below 0.95 means tracing leaked cost into the simulation.
+    const std::size_t size = 4096;
+    ClusterConfig traced_cfg;
+    traced_cfg.tracing = true;
+    const Fig4Result plain = run_fig4(/*pioman=*/true, size, comp);
+    const Fig4Result traced =
+        run_fig4(/*pioman=*/true, size, comp, 16, traced_cfg);
+    const double ratio = traced.send_us > 0 ? plain.send_us / traced.send_us
+                                            : 0.0;
+    std::printf("\ntraced overhead (4K): untraced %.2f us, traced %.2f us, "
+                "rate ratio %.4f\n", plain.send_us, traced.send_us, ratio);
+    json.begin_case("traced_overhead_4K");
+    json.metric("traced_rate_ratio", ratio, "higher");
+    json.metric("untraced_send_us", plain.send_us, "lower");
+    json.metric("traced_send_us", traced.send_us, "lower");
+    if (ratio < 0.95) {
+      std::printf("FAIL: tracing costs more than 5%% message rate "
+                  "(ratio %.4f)\n", ratio);
+      return 1;
+    }
+  }
   if (json_path != nullptr) {
     if (!json.write(json_path)) {
       std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);

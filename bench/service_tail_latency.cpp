@@ -28,6 +28,7 @@
 // "lower".
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -89,6 +90,8 @@ Workload draw_workload(double rho, std::uint64_t seed) {
 struct TailCase {
   double p50_us = 0, p99_us = 0, p999_us = 0, mean_us = 0;
   double queue_depth_max = 0;  // worst undispatched backlog on any server
+  double sim_us = 0;           // virtual makespan of the whole run
+  double msg_rate = 0;         // requests per virtual ms
   ClusterObs obs;
 };
 
@@ -98,12 +101,15 @@ double pct(const std::vector<SimDuration>& sorted, double q) {
   return to_us(sorted[std::min(i, sorted.size() - 1)]);
 }
 
-TailCase run_case(const Workload& w, bool pioman) {
+TailCase run_case(const Workload& w, bool pioman, bool traced = false,
+                  const char* metrics_path = nullptr,
+                  const char* trace_path = nullptr) {
   ClusterConfig cfg;
   cfg.nodes = kNodes;
   cfg.cpus_per_node = 4;
   cfg.pioman = pioman;
   cfg.rpc = true;
+  cfg.tracing = traced;
   Cluster cluster(cfg);
 
   for (unsigned s = 0; s < kServers; ++s) {
@@ -175,13 +181,63 @@ TailCase run_case(const Workload& w, bool pioman) {
         std::max(r.queue_depth_max,
                  static_cast<double>(cluster.rpc(s).stats().queue_depth_max));
   }
+  r.sim_us = to_us(cluster.now());
+  r.msg_rate =
+      static_cast<double>(all.size()) / (r.sim_us / 1000.0);  // req/virt-ms
   r.obs = observe(cluster);
+  if (metrics_path != nullptr && !cluster.write_metrics_json(metrics_path)) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", metrics_path);
+    std::exit(1);
+  }
+  if (trace_path != nullptr && !cluster.write_trace_exemplars(trace_path)) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", trace_path);
+    std::exit(1);
+  }
   return r;
+}
+
+/// --traced: one traced high-load PIOMan run exporting metrics.json (with
+/// the "tracing" section: span counts + tail exemplars and their critical
+/// paths) and a Perfetto-loadable exemplar timeline, followed by a
+/// traced-vs-untraced replay of the same workload asserting that tracing
+/// costs no virtual throughput (it records events, it charges no time).
+int run_traced(const char* metrics_path, const char* trace_path) {
+  std::printf("tracing on: rho=0.85 pioman, exporting %s and %s\n",
+              metrics_path, trace_path);
+  const Workload w85 = draw_workload(0.85, 0x5eed + 85);
+  const TailCase traced85 =
+      run_case(w85, /*pioman=*/true, /*traced=*/true, metrics_path,
+               trace_path);
+  std::printf("  p999 %.2f us over %zu requests, %.1f req/virt-ms\n",
+              traced85.p999_us,
+              static_cast<std::size_t>(kNodes - kServers) * kPerClient,
+              traced85.msg_rate);
+
+  const Workload w60 = draw_workload(0.60, 0x5eed + 60);
+  const TailCase plain = run_case(w60, /*pioman=*/true, /*traced=*/false);
+  const TailCase traced = run_case(w60, /*pioman=*/true, /*traced=*/true);
+  const double ratio = traced.msg_rate / plain.msg_rate;
+  std::printf("tracing overhead @ rho=0.60: %.1f vs %.1f req/virt-ms "
+              "(ratio %.4f)\n",
+              traced.msg_rate, plain.msg_rate, ratio);
+  if (ratio < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: tracing costs %.1f%% throughput (gate: <5%%)\n",
+                 (1.0 - ratio) * 100.0);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--traced") == 0) {
+    const char* metrics_path =
+        argc > 2 ? argv[2] : "service_tail.metrics.json";
+    const char* trace_path = argc > 3 ? argv[3] : "service_tail.trace.json";
+    return run_traced(metrics_path, trace_path);
+  }
   const char* json_path =
       argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
 
@@ -216,6 +272,28 @@ int main(int argc, char** argv) {
       json.metric("p999_us", r.p999_us, "lower");
       json.metric("server_queue_depth_max", r.queue_depth_max);
       json.metrics_from(r.obs);
+    }
+  }
+  {
+    // Tracing-overhead gate: replay the rho=0.60 PIOMan case with causal
+    // tracing on and compare virtual message rates.  Tracing charges no
+    // virtual time, so the ratio must stay ~1.0; the "higher" gate turns
+    // any future accidental perturbation into a trajectory regression.
+    const Workload w = draw_workload(0.60, 0x5eed + 60);
+    const TailCase plain = run_case(w, /*pioman=*/true, /*traced=*/false);
+    const TailCase traced = run_case(w, /*pioman=*/true, /*traced=*/true);
+    const double ratio = traced.msg_rate / plain.msg_rate;
+    std::printf("\ntraced/untraced message-rate ratio @ rho=0.60: %.4f\n",
+                ratio);
+    json.begin_case("traced_overhead_load60");
+    json.metric("traced_rate_ratio", ratio, "higher");
+    json.metric("untraced_req_per_ms", plain.msg_rate);
+    json.metric("traced_req_per_ms", traced.msg_rate);
+    if (ratio < 0.95) {
+      std::fprintf(stderr,
+                   "FAIL: tracing costs %.1f%% throughput (gate: <5%%)\n",
+                   (1.0 - ratio) * 100.0);
+      return 1;
     }
   }
   std::printf(

@@ -30,6 +30,7 @@
 
 #include "core/cond.hpp"
 #include "nmad/core.hpp"
+#include "pm2/tracing/tracing.hpp"
 
 namespace pm2 {
 class MetricsRegistry;
@@ -55,6 +56,7 @@ struct Op {
 
   std::uint32_t deps = 0;           // unsatisfied predecessor count
   std::vector<std::uint32_t> out;   // successors unlocked by my completion
+  std::uint64_t span = 0;           // causal-trace coll.op span (0 = off)
 };
 
 inline constexpr std::uint32_t kNoOp = 0xffffffffu;
@@ -113,6 +115,10 @@ class CollRequest {
   std::optional<piom::Cond> cond_;
   Algo algo_ = Algo::kAuto;
   SimTime issued_at_ = 0;
+  // Causal trace of this collective on this rank (0 = tracing off): the
+  // root "coll" span every coll.op span parents to.
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
 };
 
 /// Per-rank collective engine on top of one nm::Core.  Registers a poll
@@ -192,6 +198,13 @@ class Engine {
   /// "node0/coll"), following the subsystem convention.
   void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
 
+  /// Attach this rank's causal-trace recorder (nullptr = tracing off).
+  /// Each rank's schedule then runs as its own trace: a "coll" root span
+  /// plus one "coll.op" span per DAG primitive.
+  void set_tracing(pm2::tracing::Recorder* recorder) noexcept {
+    trace_ = recorder;
+  }
+
  private:
   // -- request pooling --
   CollRequest* acquire(Algo algo);
@@ -240,6 +253,7 @@ class Engine {
   std::deque<std::unique_ptr<CollRequest>> pool_;
   std::vector<CollRequest*> freelist_;
   Stats stats_;
+  pm2::tracing::Recorder* trace_ = nullptr;  // null = tracing off
 };
 
 }  // namespace pm2::nm::coll

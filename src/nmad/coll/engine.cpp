@@ -127,6 +127,8 @@ CollRequest* Engine::acquire(Algo algo) {
   cr->remaining_ = 0;
   cr->done_ = false;
   cr->algo_ = algo;
+  cr->trace_id_ = 0;
+  cr->root_span_ = 0;
   if (core_.server() != nullptr) {
     if (cr->cond_.has_value()) {
       cr->cond_->reset();
@@ -148,6 +150,18 @@ void Engine::launch(CollRequest* cr) {
   ++stats_.started;
   cr->issued_at_ = core_.fabric().engine().now();
   cr->remaining_ = static_cast<std::uint32_t>(cr->sched_.ops.size());
+  if (trace_ != nullptr) {
+    // Each rank runs its own trace (ranks launch independently; there is
+    // no cross-rank parent to adopt).  A collective issued from a traced
+    // RPC handler, though, continues that handler's trace.
+    const pm2::tracing::TraceContext ambient =
+        trace_->current(marcel::this_thread::self());
+    cr->trace_id_ = ambient.valid() ? ambient.trace_id : trace_->new_trace();
+    cr->root_span_ = trace_->new_span();
+    trace_->record(cr->trace_id_, cr->root_span_, ambient.parent_span_id,
+                   pm2::tracing::EventKind::kCollStart,
+                   static_cast<std::uint32_t>(cr->algo_), cr->issued_at_);
+  }
   piom::Server* server = core_.server();
   if (server != nullptr) {
     // The drain ltask is registered only while collectives are in flight:
@@ -201,16 +215,27 @@ void Engine::execute(CollRequest* cr, std::uint32_t idx) {
     round.first_issue = core_.fabric().engine().now();
   }
   ++stats_.ops_executed;
+  if (cr->trace_id_ != 0) {
+    // One coll.op span per DAG primitive, parented to the rank's root
+    // coll span; service carries the op kind for segment attribution.
+    op.span = trace_->new_span();
+    trace_->record(cr->trace_id_, op.span, cr->root_span_,
+                   pm2::tracing::EventKind::kCollOpIssued,
+                   static_cast<std::uint32_t>(op.kind),
+                   core_.fabric().engine().now());
+  }
   switch (op.kind) {
     case Op::Kind::kSend: {
       ++stats_.ops_send;
       stats_.bytes_sent += op.src.size();
+      if (cr->trace_id_ != 0) core_.set_next_trace(cr->trace_id_, op.span);
       Request* req = core_.isend(op.peer, op.tag, op.src);
       core_.set_continuation(req, [this, cr, idx] { op_done(cr, idx); });
       break;
     }
     case Op::Kind::kRecv: {
       ++stats_.ops_recv;
+      if (cr->trace_id_ != 0) core_.set_next_trace(cr->trace_id_, op.span);
       Request* req = core_.irecv(op.peer, op.tag, op.dst);
       core_.set_continuation(req, [this, cr, idx] { op_done(cr, idx); });
       break;
@@ -244,6 +269,14 @@ void Engine::op_done(CollRequest* cr, std::uint32_t idx) {
   // it only marks dependents ready and kicks idle cores to execute them.
   const Op& op = cr->sched_.ops[idx];
   cr->rounds_[op.round].last_done = core_.fabric().engine().now();
+  if (cr->trace_id_ != 0 && op.span != 0) {
+    // Plain push_back — legal from raw engine context like the rest of
+    // this function.
+    trace_->record(cr->trace_id_, op.span, 0,
+                   pm2::tracing::EventKind::kCollOpDone,
+                   static_cast<std::uint32_t>(op.kind),
+                   core_.fabric().engine().now());
+  }
   bool newly_ready = false;
   for (const std::uint32_t succ : op.out) {
     Op& next = cr->sched_.ops[succ];
@@ -265,6 +298,12 @@ void Engine::finish(CollRequest* cr) {
   PM2_ASSERT(!cr->done_);
   cr->done_ = true;
   ++stats_.completed;
+  if (cr->trace_id_ != 0) {
+    trace_->record(cr->trace_id_, cr->root_span_, 0,
+                   pm2::tracing::EventKind::kCollDone,
+                   static_cast<std::uint32_t>(cr->algo_),
+                   core_.fabric().engine().now());
+  }
   if (piom::Server* server = core_.server(); server != nullptr) {
     server->disarm();
     // May run from inside our own drain ltask (inline reduce/copy chains)

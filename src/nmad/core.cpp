@@ -11,6 +11,7 @@
 #include "marcel/lock_profile.hpp"
 #include "marcel/runtime.hpp"
 #include "nmad/reliable.hpp"
+#include "sim/flow_id.hpp"
 #include "sim/trace.hpp"
 
 namespace pm2::nm {
@@ -18,7 +19,8 @@ namespace {
 
 /// Identity of one message crossing the wire, shared by the sender's
 /// injection span and the receiver's delivery span (FNV-1a so distinct
-/// messages practically never collide).
+/// messages practically never collide).  Namespaced under FlowClass::kWire
+/// so a hash can never land on an id another subsystem minted.
 std::uint64_t wire_flow_id(unsigned src, unsigned dst, Tag tag,
                            Seq seq) noexcept {
   std::uint64_t h = 1469598103934665603ull;
@@ -32,12 +34,16 @@ std::uint64_t wire_flow_id(unsigned src, unsigned dst, Tag tag,
   mix(dst);
   mix(tag);
   mix(seq);
-  return h;
+  return sim::flow_id(sim::FlowClass::kWire, h);
 }
 
-/// Identity of one offloaded submission (isend → tasklet pickup).
+/// Identity of one offloaded submission (isend → tasklet pickup),
+/// namespaced under FlowClass::kOffload: 16 node bits + 40 flight-id bits
+/// inside the class's 56-bit space.
 std::uint64_t offload_flow_id(const FlightRecord& f) noexcept {
-  return (static_cast<std::uint64_t>(f.node) << 48) | f.id;
+  const std::uint64_t low = (static_cast<std::uint64_t>(f.node) << 40) |
+                            (f.id & ((std::uint64_t{1} << 40) - 1));
+  return sim::flow_id(sim::FlowClass::kOffload, low);
 }
 
 }  // namespace
@@ -419,6 +425,20 @@ std::optional<std::uint32_t> Core::probe_size(unsigned src, Tag tag) const {
   return std::nullopt;
 }
 
+std::optional<SimTime> Core::probe_arrival(unsigned src, Tag tag) const {
+  EngineLockGuard lg(elock_.get());
+  const auto flow = flows_.find({src, tag});
+  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
+  const MatchKey key{src, tag, next};
+  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+    return it->second.arrived_at;
+  }
+  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
+    return it->second.arrived_at;
+  }
+  return std::nullopt;
+}
+
 bool Core::progress(marcel::Cpu&) {
   marcel::EngineScope es;
   EngineLockGuard lg(elock_.get());
@@ -783,6 +803,12 @@ void Core::charge_copy(std::size_t bytes) {
 
 void Core::flight_init(Request& req, std::uint32_t bytes,
                        SimTime posted_at) {
+  // Consume the staged lineage unconditionally: it applies to exactly the
+  // next posted request, whether or not the flight recorder is on.
+  const std::uint64_t trace = next_trace_id_;
+  const std::uint64_t span = next_span_id_;
+  next_trace_id_ = 0;
+  next_span_id_ = 0;
   if (flight_ == nullptr) {
     req.flight_on = false;
     return;
@@ -790,6 +816,8 @@ void Core::flight_init(Request& req, std::uint32_t bytes,
   req.flight = FlightRecord{};
   req.flight_on = true;
   FlightRecord& f = req.flight;
+  f.trace_id = trace;
+  f.span_id = span;
   f.id = flight_->next_id();
   f.op = static_cast<std::uint8_t>(req.op);
   f.node = node_id();

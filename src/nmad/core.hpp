@@ -99,6 +99,22 @@ class Core {
   [[nodiscard]] std::optional<std::uint32_t> probe_size(unsigned src,
                                                         Tag tag) const;
 
+  /// Wire-arrival time of the buffered message the next irecv(src, tag)
+  /// would match, or nullopt when nothing is buffered.  Non-consuming;
+  /// lets the RPC dispatcher backdate a request's trace span to the
+  /// instant the message actually hit the unexpected store.
+  [[nodiscard]] std::optional<SimTime> probe_arrival(unsigned src,
+                                                     Tag tag) const;
+
+  /// Stage causal-trace lineage for the *next* request this thread posts
+  /// (isend or irecv): the posted flight record carries (trace, span), so
+  /// flight dumps can be joined against the causal tracer's spans.
+  /// Consumed by exactly one post; harmless when flight recording is off.
+  void set_next_trace(std::uint64_t trace, std::uint64_t span) noexcept {
+    next_trace_id_ = trace;
+    next_span_id_ = span;
+  }
+
   /// Number of unexpected messages (eager or RTS) currently buffered on
   /// RPC-band tags (>= kRpcTagBase).  O(1); feeds the RPC engine's
   /// PIOMan work probe so idle cores keep polling while undispatched
@@ -306,6 +322,9 @@ class Core {
   std::deque<std::unique_ptr<Request>> pool_;
   std::vector<Request*> freelist_;
   FlightRecorder* flight_ = nullptr;
+  // Causal lineage staged by set_next_trace() for the next posted request.
+  std::uint64_t next_trace_id_ = 0;
+  std::uint64_t next_span_id_ = 0;
   Stats stats_;
   Samples send_lat_;
   Samples recv_lat_;

@@ -44,6 +44,10 @@ inline constexpr std::size_t kStageCount = 10;
 
 struct FlightRecord {
   std::uint64_t id = 0;  // per-node monotonic id (0 = not recording)
+  // Causal-trace lineage staged via Core::set_next_trace (0 = untraced):
+  // joins this flight against the tracing subsystem's span tree.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   std::uint8_t op = 0;   // mirrors Request::Op
   bool rdv = false;
   bool offloaded = false;  // injection ran on a different context than post

@@ -1,7 +1,10 @@
 #include "pm2/cluster.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string_view>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -68,6 +71,15 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
       rpcs_.push_back(std::make_unique<rpc::Engine>(*cores_[i]));
     }
   }
+  if (std::getenv("PM2_TRACING") != nullptr) cfg_.tracing = true;
+  if (cfg_.tracing) {
+    tracers_.reserve(cfg_.nodes);
+    for (unsigned i = 0; i < cfg_.nodes; ++i) {
+      tracers_.push_back(std::make_unique<tracing::Recorder>(i, trace_ids_));
+      colls_[i]->set_tracing(tracers_[i].get());
+      if (i < rpcs_.size()) rpcs_[i]->set_tracing(tracers_[i].get());
+    }
+  }
   if (!cfg_.faults.empty()) {
     // A single top-level seed keeps lossy runs reproducible; the env
     // override lets CLI benches replay a schedule without recompiling.
@@ -115,6 +127,11 @@ Cluster::~Cluster() {
   }
   if (env_tracer_ != nullptr) {
     sim::export_registry(*env_tracer_, metrics_, engine_.now());
+    // Tail exemplars ride along in the same timeline file, as async
+    // spans on "nodeN/trace" tracks.
+    for (const tracing::TraceView* tv : pick_exemplars()) {
+      tracing::export_trace(*env_tracer_, *tv);
+    }
     if (env_tracer_->write_json(trace_path_)) {
       PM2_INFO("wrote timeline trace to %s (%zu events)",
                trace_path_.c_str(), env_tracer_->event_count());
@@ -138,6 +155,78 @@ void Cluster::flush_observability() {
     }
   }
   lock_profile::export_to(metrics_);
+  if (tracers_.empty()) return;
+  // Fold each newly completed RPC trace into the per-service aggregate
+  // histograms: end-to-end latency plus its critical path summed per
+  // segment.  histogrammed_traces_ keeps repeated flushes idempotent.
+  const tracing::Assembly& asmb = trace_assembly();
+  char name[96];
+  for (const tracing::TraceView& tv : asmb.traces) {
+    if (!tv.complete || std::string_view(tv.kind) != "rpc") continue;
+    const auto it = std::lower_bound(histogrammed_traces_.begin(),
+                                     histogrammed_traces_.end(), tv.id);
+    if (it != histogrammed_traces_.end() && *it == tv.id) continue;
+    histogrammed_traces_.insert(it, tv.id);
+    std::snprintf(name, sizeof name, "node%u/rpc/trace/svc%u/e2e_ns",
+                  tv.root_node, tv.service);
+    metrics_.histogram(name).add(static_cast<std::uint64_t>(tv.e2e_ns()));
+    std::map<std::string_view, std::uint64_t> per_seg;
+    for (const tracing::Segment& s : tv.critical_path) {
+      per_seg[s.name] += static_cast<std::uint64_t>(s.ns());
+    }
+    for (const auto& [seg, ns] : per_seg) {
+      std::snprintf(name, sizeof name, "node%u/rpc/trace/svc%u/%.*s_ns",
+                    tv.root_node, tv.service, static_cast<int>(seg.size()),
+                    seg.data());
+      metrics_.histogram(name).add(ns);
+    }
+  }
+}
+
+const tracing::Assembly& Cluster::trace_assembly() {
+  std::uint64_t total = 0;
+  for (const auto& t : tracers_) total += t->events().size();
+  if (total != assembled_events_) {
+    std::vector<const tracing::Recorder*> recs;
+    recs.reserve(tracers_.size());
+    for (const auto& t : tracers_) recs.push_back(t.get());
+    trace_assembly_ = tracing::assemble(recs);
+    assembled_events_ = total;
+  }
+  return trace_assembly_;
+}
+
+std::vector<const tracing::TraceView*> Cluster::pick_exemplars() {
+  std::vector<const tracing::TraceView*> out;
+  if (tracers_.empty() || cfg_.trace_exemplars == 0) return out;
+  std::map<std::uint32_t, std::vector<const tracing::TraceView*>> by_service;
+  for (const tracing::TraceView& tv : trace_assembly().traces) {
+    if (!tv.complete || std::string_view(tv.kind) != "rpc") continue;
+    by_service[tv.service].push_back(&tv);
+  }
+  for (auto& [svc, traces] : by_service) {
+    std::sort(traces.begin(), traces.end(),
+              [](const tracing::TraceView* a, const tracing::TraceView* b) {
+                if (a->e2e_ns() != b->e2e_ns()) {
+                  return a->e2e_ns() > b->e2e_ns();
+                }
+                return a->id < b->id;  // deterministic tie-break
+              });
+    const std::size_t k =
+        std::min<std::size_t>(cfg_.trace_exemplars, traces.size());
+    out.insert(out.end(), traces.begin(),
+               traces.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  return out;
+}
+
+bool Cluster::write_trace_exemplars(const std::string& path) {
+  if (tracers_.empty()) return false;
+  sim::Tracer tracer;
+  for (const tracing::TraceView* tv : pick_exemplars()) {
+    tracing::export_trace(tracer, *tv);
+  }
+  return tracer.write_json(path);
 }
 
 void Cluster::bind_all_metrics() {
@@ -173,6 +262,10 @@ void Cluster::bind_all_metrics() {
       metrics_.bind_gauge(prefix,
                           [rec] { return static_cast<double>(rec->dropped()); });
     }
+    if (n < tracers_.size() && tracers_[n] != nullptr) {
+      std::snprintf(prefix, sizeof prefix, "node%u/rpc/trace", n);
+      tracers_[n]->bind_metrics(metrics_, prefix);
+    }
   }
   if (fabric_->faults() != nullptr) {
     fabric_->faults()->bind_metrics(metrics_, "fabric/faults");
@@ -196,6 +289,40 @@ bool Cluster::write_metrics_json(const std::string& path) {
   doc += metrics_.to_json();
   doc += ",\"attribution\":";
   doc += attribution_to_json(attr);
+  if (!tracers_.empty()) {
+    const tracing::Assembly& asmb = trace_assembly();
+    std::uint64_t complete = 0;
+    for (const tracing::TraceView& tv : asmb.traces) {
+      if (tv.complete) ++complete;
+    }
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  ",\"tracing\":{\"events\":%llu,\"spans\":%llu,"
+                  "\"open_spans\":%llu,\"traces\":%zu,"
+                  "\"traces_complete\":%llu,\"segments\":[",
+                  static_cast<unsigned long long>(asmb.events),
+                  static_cast<unsigned long long>(asmb.spans),
+                  static_cast<unsigned long long>(asmb.open_spans),
+                  asmb.traces.size(),
+                  static_cast<unsigned long long>(complete));
+    doc += buf;
+    bool first = true;
+    for (const char* seg : tracing::segment_taxonomy()) {
+      if (!first) doc += ",";
+      first = false;
+      doc += "\"";
+      doc += seg;
+      doc += "\"";
+    }
+    doc += "],\"exemplars\":[";
+    first = true;
+    for (const tracing::TraceView* tv : pick_exemplars()) {
+      if (!first) doc += ",";
+      first = false;
+      doc += tracing::trace_to_json(*tv);
+    }
+    doc += "]}";
+  }
   doc += "}\n";
   PM2_ASSERT_MSG(json_valid(doc), "metrics.json export must be valid JSON");
 

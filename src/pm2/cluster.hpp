@@ -24,6 +24,8 @@
 #include "nmad/core.hpp"
 #include "pm2/completion.hpp"
 #include "pm2/rpc.hpp"
+#include "pm2/tracing/assembly.hpp"
+#include "pm2/tracing/tracing.hpp"
 #include "sim/engine.hpp"
 
 namespace pm2 {
@@ -62,6 +64,17 @@ struct ClusterConfig {
   /// when PM2_METRICS or PM2_TRACE is set in the environment.
   bool flight = false;
   std::size_t flight_capacity = 8192;
+
+  /// Causal tracing (src/pm2/tracing): per-node recorders wired into the
+  /// RPC and collective engines, assembled into cross-node trace trees
+  /// with critical-path attribution in flush_observability().  The
+  /// PM2_TRACING environment variable forces it on.  Tracing records
+  /// charge no virtual time, so enabling this cannot change the schedule.
+  bool tracing = false;
+  /// Tail-exemplar policy: the slowest `trace_exemplars` complete RPC
+  /// traces per service are retained in full (JSON in metrics.json's
+  /// "tracing" section, async spans in the Chrome trace).
+  unsigned trace_exemplars = 4;
 
   /// Schedule-exploration fuzzing (see sim/schedule_fuzz.hpp): 0 = off,
   /// any other value seeds a deterministic schedule perturbation.  The
@@ -144,6 +157,20 @@ class Cluster {
     return i < flights_.size() ? flights_[i].get() : nullptr;
   }
 
+  /// Node `i`'s causal-trace recorder (nullptr unless tracing is on).
+  [[nodiscard]] tracing::Recorder* trace_recorder(unsigned i) noexcept {
+    return i < tracers_.size() ? tracers_[i].get() : nullptr;
+  }
+
+  /// Assemble (and cache) every recorded event into cross-node traces.
+  /// Re-assembles only when new events arrived since the last call.
+  [[nodiscard]] const tracing::Assembly& trace_assembly();
+
+  /// Write the tail exemplars (slowest complete RPC traces per service)
+  /// as a Chrome/Perfetto-loadable JSON file.  False on I/O failure or
+  /// when tracing is off.
+  bool write_trace_exemplars(const std::string& path);
+
   /// Fold open observability intervals into the registry: every core's
   /// in-progress state interval (so per-core state counters sum to now())
   /// and the lock profiler's per-site statistics.  Idempotent; called by
@@ -157,6 +184,8 @@ class Cluster {
 
  private:
   void bind_all_metrics();
+  /// The tail exemplars under the config policy, slowest first.
+  [[nodiscard]] std::vector<const tracing::TraceView*> pick_exemplars();
 
   ClusterConfig cfg_;
   sim::Engine engine_;
@@ -165,6 +194,11 @@ class Cluster {
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<std::unique_ptr<piom::Server>> servers_;
   std::vector<std::unique_ptr<nm::Core>> cores_;
+  // Declared before the engines below, which hold raw Recorder pointers:
+  // reverse destruction order keeps the recorders alive until the engines
+  // (and any in-flight completions they still trace) are gone.
+  tracing::IdSource trace_ids_;
+  std::vector<std::unique_ptr<tracing::Recorder>> tracers_;
   // Declared after cores_ so the engines (whose destructors unregister
   // their poll source) die before the cores and servers they reference.
   std::vector<std::shared_ptr<nm::coll::Engine>> colls_;
@@ -174,6 +208,12 @@ class Cluster {
   std::unique_ptr<sim::Tracer> env_tracer_;
   std::string trace_path_;
   std::string metrics_path_;
+  // trace_assembly() cache, invalidated by event-count growth; the
+  // exported set keeps flush_observability()'s histogram export
+  // idempotent across repeated flushes.
+  tracing::Assembly trace_assembly_;
+  std::uint64_t assembled_events_ = 0;
+  std::vector<std::uint64_t> histogrammed_traces_;  // sorted trace ids
 };
 
 }  // namespace pm2

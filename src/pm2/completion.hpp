@@ -30,9 +30,17 @@ class Engine;
 /// Wire handle for a Completion: home node + per-node id.  Plain data —
 /// marshal with ArgWriter::completion / ArgReader::completion, copy and
 /// forward freely.
+///
+/// The ref also carries the causal-trace lineage of the request that is
+/// being completed (0 = untraced).  Marshalling a ref stamps the current
+/// context in; a forwarded ref therefore keeps the *original* trace, so
+/// the final signal — possibly many hops later — still closes the right
+/// trace tree.
 struct CompletionRef {
   std::uint32_t home = 0;  // node the Completion (and its waiter) live on
   std::uint64_t id = 0;    // registry key on that node
+  std::uint64_t trace_id = 0;         // causal trace (0 = untraced)
+  std::uint64_t parent_span_id = 0;   // span the signal parents to
 };
 
 class Completion {

@@ -60,20 +60,44 @@ void Engine::register_service(std::uint32_t service, Handler handler) {
 void Engine::call(unsigned dst, std::uint32_t service,
                   const Marshal& marshal) {
   ++stats_.issued;
+  const SimTime t_issue = core_.fabric().engine().now();
+  // Mint (or continue) the causal trace: a call issued from a traced
+  // handler vthread continues that handler's trace as a child span; a
+  // call from anywhere else roots a fresh trace.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  if (trace_ != nullptr) {
+    const tracing::TraceContext ambient =
+        trace_->current(marcel::this_thread::self());
+    trace = ambient.valid() ? ambient.trace_id : trace_->new_trace();
+    span = trace_->new_span();
+    trace_->record(trace, span, ambient.parent_span_id,
+                   tracing::EventKind::kCallIssued, service, t_issue);
+  }
   OutMsg* m = acquire_out();
   m->args.clear();
+  m->trace_id = trace;
+  m->span_id = span;
+  m->service = service;
   if (marshal) {
     ArgWriter w(m->args);
     marshal(w);
+  }
+  if (trace != 0) {
+    trace_->record(trace, span, 0, tracing::EventKind::kMarshalDone, service,
+                   core_.fabric().engine().now());
   }
   MsgHeader hdr;
   hdr.service = service;
   hdr.origin = node_id();
   hdr.request_id = next_request_id_++;
   hdr.issued_ns = static_cast<std::int64_t>(core_.fabric().engine().now());
+  hdr.trace_id = trace;
+  hdr.span_id = span;
   hdr.arg_bytes = static_cast<std::uint32_t>(m->args.size());
   // Header + args travel as one Madeleine pack message: two segments
   // gathered on the sending side, parsed out of one buffer on the other.
+  if (trace != 0) core_.set_next_trace(trace, span);
   m->pack.emplace(core_, dst, kReqTag);
   m->pack->add({reinterpret_cast<const std::byte*>(&hdr), sizeof hdr});
   m->pack->add(m->args);
@@ -83,12 +107,39 @@ void Engine::call(unsigned dst, std::uint32_t service,
 void Engine::signal(const CompletionRef& ref, std::uint32_t delta) {
   PM2_ASSERT(delta > 0);
   ++stats_.signals_sent;
+  // The signal span belongs to the ref's trace (stamped at marshal time,
+  // surviving any number of forwards).  Parent: the signalling handler's
+  // span when we are inside that same trace, else the ref's recorded
+  // parent (covers signalling from a plain application thread).
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  if (trace_ != nullptr) {
+    const tracing::TraceContext ambient =
+        trace_->current(marcel::this_thread::self());
+    trace = ref.trace_id != 0 ? ref.trace_id
+            : ambient.valid() ? ambient.trace_id
+                              : 0;
+    if (trace != 0) {
+      const std::uint64_t parent =
+          ambient.valid() && ambient.trace_id == trace
+              ? ambient.parent_span_id
+              : ref.parent_span_id;
+      span = trace_->new_span();
+      trace_->record(trace, span, parent, tracing::EventKind::kSignalSent, 0,
+                     core_.fabric().engine().now());
+    }
+  }
   if (ref.home == node_id()) {
+    if (trace != 0) {
+      trace_->record(trace, span, 0, tracing::EventKind::kSignalDelivered, 0,
+                     core_.fabric().engine().now());
+    }
     deliver_signal(ref.id, delta);
     return;
   }
   OutMsg* m = acquire_out();
-  const SignalMsg sm{ref.id, delta, 0};
+  const SignalMsg sm{ref.id, trace, span, delta, 0};
+  if (trace != 0) core_.set_next_trace(trace, span);
   m->pack.emplace(core_, ref.home, kSigTag);
   m->pack->add({reinterpret_cast<const std::byte*>(&sm), sizeof sm});
   finish_send(m->pack->send(), m);
@@ -97,8 +148,16 @@ void Engine::signal(const CompletionRef& ref, std::uint32_t delta) {
 void Engine::finish_send(nm::Request* req, OutMsg* m) {
   if (core_.server() != nullptr) {
     // Offloaded: fire and forget, recycle the staging whenever the
-    // engine finishes with it.
-    core_.set_continuation(req, [this, m] { release_out(m); });
+    // engine finishes with it.  Recording is a plain push_back, so it is
+    // legal from the continuation's engine context.
+    core_.set_continuation(req, [this, m] {
+      if (m->trace_id != 0 && trace_ != nullptr) {
+        trace_->record(m->trace_id, m->span_id, 0,
+                       tracing::EventKind::kSendDone, m->service,
+                       core_.fabric().engine().now());
+      }
+      release_out(m);
+    });
     return;
   }
   // App-driven baseline: progression only happens inside library calls,
@@ -116,6 +175,10 @@ void Engine::finish_send(nm::Request* req, OutMsg* m) {
     if (!progressed && cfg.app_poll_gap > 0) {
       marcel::this_thread::compute(cfg.app_poll_gap);
     }
+  }
+  if (m->trace_id != 0 && trace_ != nullptr) {
+    trace_->record(m->trace_id, m->span_id, 0, tracing::EventKind::kSendDone,
+                   m->service, core_.fabric().engine().now());
   }
   release_out(m);
 }
@@ -162,6 +225,10 @@ bool Engine::pump() {
       m->buf.resize(*size);
       m->src = src;
       m->tag = tag;
+      // Arrival time of the buffered message about to be matched — it
+      // backdates the server span to the unexpected-store entry, making
+      // the store dwell a visible critical-path segment.
+      m->arrived_at = core_.probe_arrival(src, tag).value_or(0);
       nm::Request* req = core_.irecv(src, tag, m->buf);
       // Eager: the unexpected store satisfies the irecv inline and the
       // continuation fires right here.  Rendezvous: it fires from
@@ -175,6 +242,7 @@ bool Engine::pump() {
 }
 
 void Engine::enqueue(InMsg* m) {
+  m->enqueued_at = core_.fabric().engine().now();
   inbox_.push_back(m);
   if (inbox_.size() > stats_.queue_depth_max) {
     stats_.queue_depth_max = inbox_.size();
@@ -195,6 +263,13 @@ bool Engine::dispatch_inbox() {
                      "malformed rpc signal message");
       SignalMsg sm;
       std::memcpy(&sm, m->buf.data(), sizeof sm);
+      if (sm.trace_id != 0 && trace_ != nullptr) {
+        // Delivery instant == Completion::done_at(), so an assembled
+        // trace's end reconstructs the benched latency exactly.
+        trace_->record(sm.trace_id, sm.span_id, 0,
+                       tracing::EventKind::kSignalDelivered, 0,
+                       core_.fabric().engine().now());
+      }
       deliver_signal(sm.id, sm.delta);
       release_in(m);
     } else {
@@ -220,18 +295,48 @@ void Engine::dispatch_request(InMsg* m) {
     dispatch_ns_->add(static_cast<std::uint64_t>(now - hdr.issued_ns));
   }
   ++stats_.handler_spawns;
+  // Open the server span, backdated to the wire arrival: the span's
+  // interior marks expose where a slow request actually waited (the
+  // unexpected store vs the dispatch queue vs the handler itself).
+  tracing::TraceContext hctx;
+  if (trace_ != nullptr && hdr.trace_id != 0) {
+    const SimTime now = core_.fabric().engine().now();
+    const std::uint64_t srv_span = trace_->new_span();
+    trace_->record(hdr.trace_id, srv_span, hdr.span_id,
+                   tracing::EventKind::kWireRx, hdr.service,
+                   m->arrived_at != 0 ? m->arrived_at : now);
+    trace_->record(hdr.trace_id, srv_span, 0, tracing::EventKind::kEnqueued,
+                   hdr.service, m->enqueued_at != 0 ? m->enqueued_at : now);
+    trace_->record(hdr.trace_id, srv_span, 0,
+                   tracing::EventKind::kDispatched, hdr.service, now);
+    hctx = tracing::TraceContext{hdr.trace_id, srv_span};
+  }
   // The map node is stable; capture a pointer, not a copy of the functor.
   const Handler* handler = &it->second;
   marcel::Thread& t = core_.node().spawn(
-      [this, m, handler, hdr] {
+      [this, m, handler, hdr, hctx] {
         const SimTime t0 = core_.fabric().engine().now();
+        if (hctx.valid()) {
+          trace_->record(hctx.trace_id, hctx.parent_span_id, 0,
+                         tracing::EventKind::kHandlerBegin, hdr.service, t0);
+          // Adopt the context so calls and signals issued by the handler
+          // body parent to this server span with no explicit plumbing.
+          trace_->adopt(marcel::this_thread::self(), hctx);
+        }
         Context ctx(*this, hdr.origin, hdr.service,
                     std::span<const std::byte>(m->buf).subspan(
-                        sizeof(MsgHeader)));
+                        sizeof(MsgHeader)),
+                    hctx);
         (*handler)(ctx);
         if (handler_ns_ != nullptr) {
           handler_ns_->add(static_cast<std::uint64_t>(
               core_.fabric().engine().now() - t0));
+        }
+        if (hctx.valid()) {
+          trace_->record(hctx.trace_id, hctx.parent_span_id, 0,
+                         tracing::EventKind::kHandlerEnd, hdr.service,
+                         core_.fabric().engine().now());
+          trace_->drop(marcel::this_thread::self());
         }
         ++stats_.handlers_done;
         release_in(m);
@@ -281,6 +386,11 @@ Engine::OutMsg* Engine::acquire_out() {
     OutMsg* m = out_free_.back();
     out_free_.pop_back();
     m->pack.reset();
+    // Clear stale lineage: only call() re-stamps it, and a recycled
+    // request OutMsg must not make a signal send close a dead span.
+    m->trace_id = 0;
+    m->span_id = 0;
+    m->service = 0;
     return m;
   }
   out_pool_.push_back(std::make_unique<OutMsg>());

@@ -45,6 +45,7 @@
 #include "nmad/core.hpp"
 #include "nmad/pack.hpp"
 #include "pm2/completion.hpp"
+#include "pm2/tracing/tracing.hpp"
 
 namespace pm2 {
 class MetricsRegistry;
@@ -72,9 +73,15 @@ class ArgWriter {
   void str(std::string_view s) {
     bytes({reinterpret_cast<const std::byte*>(s.data()), s.size()});
   }
+  /// 28 bytes on the wire: home, id, and the ref's causal lineage (see
+  /// CompletionRef).  A fresh ref carries zero lineage; the reader on the
+  /// serving node substitutes the enclosing request's context, so the
+  /// eventual signal — even after forwarding — closes the right trace.
   void completion(const CompletionRef& ref) {
     u32(ref.home);
     u64(ref.id);
+    u64(ref.trace_id);
+    u64(ref.parent_span_id);
   }
 
  private:
@@ -88,8 +95,9 @@ class ArgWriter {
 /// Bounds-checked reader; calls must mirror the writer's order and types.
 class ArgReader {
  public:
-  explicit ArgReader(std::span<const std::byte> data) noexcept
-      : data_(data) {}
+  explicit ArgReader(std::span<const std::byte> data,
+                     tracing::TraceContext ctx = {}) noexcept
+      : data_(data), ctx_(ctx) {}
 
   [[nodiscard]] std::uint32_t u32() { return get<std::uint32_t>(); }
   [[nodiscard]] std::uint64_t u64() { return get<std::uint64_t>(); }
@@ -111,6 +119,14 @@ class ArgReader {
     CompletionRef ref;
     ref.home = u32();
     ref.id = u64();
+    ref.trace_id = u64();
+    ref.parent_span_id = u64();
+    if (ref.trace_id == 0 && ctx_.valid()) {
+      // A fresh (never-forwarded) ref adopts the enclosing request's
+      // lineage; a forwarded ref keeps its original trace untouched.
+      ref.trace_id = ctx_.trace_id;
+      ref.parent_span_id = ctx_.parent_span_id;
+    }
     return ref;
   }
   [[nodiscard]] std::size_t remaining() const noexcept {
@@ -128,6 +144,7 @@ class ArgReader {
   }
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
+  tracing::TraceContext ctx_;  // enclosing request's causal lineage
 };
 
 // --------------------------------------------------------------- context
@@ -142,17 +159,26 @@ class Context {
   [[nodiscard]] std::uint32_t service() const noexcept { return service_; }
   [[nodiscard]] ArgReader& args() noexcept { return args_; }
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  /// The request's causal lineage: its trace, parented to this handler's
+  /// server span.  Invalid (trace_id 0) when tracing is off.
+  [[nodiscard]] tracing::TraceContext trace() const noexcept { return ctx_; }
 
  private:
   friend class Engine;
   Context(Engine& engine, unsigned origin, std::uint32_t service,
-          std::span<const std::byte> args) noexcept
-      : engine_(engine), origin_(origin), service_(service), args_(args) {}
+          std::span<const std::byte> args,
+          tracing::TraceContext ctx = {}) noexcept
+      : engine_(engine),
+        origin_(origin),
+        service_(service),
+        args_(args, ctx),
+        ctx_(ctx) {}
 
   Engine& engine_;
   unsigned origin_;
   std::uint32_t service_;
   ArgReader args_;
+  tracing::TraceContext ctx_;
 };
 
 // ---------------------------------------------------------------- engine
@@ -237,37 +263,61 @@ class Engine {
   /// registry-owned storage ("<prefix>/handler_ns", "<prefix>/dispatch_ns").
   void bind_metrics(MetricsRegistry& registry, std::string_view prefix);
 
+  /// Attach this node's causal-trace recorder (nullptr = tracing off;
+  /// every tracing hook below is one untaken branch).  Owned by the
+  /// Cluster, which must outlive the engine.
+  void set_tracing(tracing::Recorder* recorder) noexcept {
+    trace_ = recorder;
+  }
+  [[nodiscard]] tracing::Recorder* tracing_recorder() const noexcept {
+    return trace_;
+  }
+
  private:
   friend class Completion;
 
   /// Request-channel wire header, followed by arg_bytes of ArgWriter
-  /// output in the same pack message.
+  /// output in the same pack message.  trace_id/span_id piggyback the
+  /// causal-trace context (0 = untraced); the fields are always present
+  /// so traced and untraced runs stay byte-for-byte schedule-identical.
   struct MsgHeader {
     std::uint32_t service = 0;
     std::uint32_t origin = 0;
     std::uint64_t request_id = 0;
     std::int64_t issued_ns = 0;  // virtual clock is cluster-global
+    std::uint64_t trace_id = 0;  // causal trace of this request
+    std::uint64_t span_id = 0;   // the client's rpc.call span
     std::uint32_t arg_bytes = 0;
     std::uint32_t pad = 0;
   };
-  static_assert(sizeof(MsgHeader) == 32);
+  static_assert(sizeof(MsgHeader) == 48);
 
-  /// Signal-channel payload.
+  /// Signal-channel payload.  trace_id/span_id identify the rpc.signal
+  /// span opened on the sending node, closed on delivery here.
   struct SignalMsg {
     std::uint64_t id = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
     std::uint32_t delta = 0;
     std::uint32_t pad = 0;
   };
-  static_assert(sizeof(SignalMsg) == 16);
+  static_assert(sizeof(SignalMsg) == 32);
 
   struct OutMsg {
     std::optional<nm::Pack> pack;  // staging must outlive the send
     std::vector<std::byte> args;   // ArgWriter scratch
+    // Causal lineage of a traced *request* send (0 for signals and
+    // untraced sends): the send continuation closes the rpc.call span.
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint32_t service = 0;
   };
   struct InMsg {
     std::vector<std::byte> buf;  // whole message; handler args view it
     unsigned src = 0;
     nm::Tag tag = 0;
+    SimTime arrived_at = 0;   // wire arrival (unexpected-store entry)
+    SimTime enqueued_at = 0;  // receive completed, pushed on the inbox
   };
 
   // -- completion registry (Completion ctor/dtor) --
@@ -312,6 +362,7 @@ class Engine {
   Stats stats_;
   Log2Histogram* handler_ns_ = nullptr;   // registry-owned, when bound
   Log2Histogram* dispatch_ns_ = nullptr;
+  tracing::Recorder* trace_ = nullptr;    // null = tracing off
 };
 
 }  // namespace pm2::rpc

@@ -1,0 +1,111 @@
+#include "pm2/tracing/tracing.hpp"
+
+#include "common/assert.hpp"
+#include "common/metrics.hpp"
+
+namespace pm2::tracing {
+
+const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kCallIssued: return "call-issued";
+    case EventKind::kWireRx: return "wire-rx";
+    case EventKind::kSignalSent: return "signal-sent";
+    case EventKind::kCollStart: return "coll-start";
+    case EventKind::kCollOpIssued: return "coll-op-issued";
+    case EventKind::kMarshalDone: return "marshal-done";
+    case EventKind::kSendDone: return "send-done";
+    case EventKind::kEnqueued: return "enqueued";
+    case EventKind::kDispatched: return "dispatched";
+    case EventKind::kHandlerBegin: return "handler-begin";
+    case EventKind::kHandlerEnd: return "handler-end";
+    case EventKind::kSignalDelivered: return "signal-delivered";
+    case EventKind::kCollOpDone: return "coll-op-done";
+    case EventKind::kCollDone: return "coll-done";
+  }
+  return "?";
+}
+
+bool opens_span(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kCallIssued:
+    case EventKind::kWireRx:
+    case EventKind::kSignalSent:
+    case EventKind::kCollStart:
+    case EventKind::kCollOpIssued:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool closes_span(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kSendDone:
+    case EventKind::kHandlerEnd:
+    case EventKind::kSignalDelivered:
+    case EventKind::kCollOpDone:
+    case EventKind::kCollDone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EventKind closing_kind_for(EventKind open) noexcept {
+  switch (open) {
+    case EventKind::kCallIssued: return EventKind::kSendDone;
+    case EventKind::kWireRx: return EventKind::kHandlerEnd;
+    case EventKind::kSignalSent: return EventKind::kSignalDelivered;
+    case EventKind::kCollStart: return EventKind::kCollDone;
+    case EventKind::kCollOpIssued: return EventKind::kCollOpDone;
+    default: return open;
+  }
+}
+
+const char* span_kind_name(EventKind open) noexcept {
+  switch (open) {
+    case EventKind::kCallIssued: return "rpc.call";
+    case EventKind::kWireRx: return "rpc.server";
+    case EventKind::kSignalSent: return "rpc.signal";
+    case EventKind::kCollStart: return "coll";
+    case EventKind::kCollOpIssued: return "coll.op";
+    default: return "?";
+  }
+}
+
+void Recorder::record(std::uint64_t trace, std::uint64_t span,
+                      std::uint64_t parent, EventKind kind,
+                      std::uint32_t service, SimTime at) {
+  PM2_ASSERT(trace != 0 && span != 0);
+  events_.push_back(Event{trace, span, parent, kind, service, node_, at});
+  ++counters_.events;
+  if (opens_span(kind)) ++counters_.spans_opened;
+  if (closes_span(kind)) ++counters_.spans_closed;
+}
+
+void Recorder::adopt(const void* key, TraceContext ctx) {
+  if (key == nullptr) return;
+  ambient_[key] = ctx;
+}
+
+void Recorder::drop(const void* key) {
+  if (key == nullptr) return;
+  ambient_.erase(key);
+}
+
+TraceContext Recorder::current(const void* key) const {
+  if (key == nullptr) return {};
+  const auto it = ambient_.find(key);
+  return it == ambient_.end() ? TraceContext{} : it->second;
+}
+
+void Recorder::bind_metrics(MetricsRegistry& registry,
+                            std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.bind_counter(p + "/events", &counters_.events);
+  registry.bind_counter(p + "/spans_opened", &counters_.spans_opened);
+  registry.bind_counter(p + "/spans_closed", &counters_.spans_closed);
+  registry.bind_counter(p + "/traces_started", &counters_.traces_started);
+}
+
+}  // namespace pm2::tracing

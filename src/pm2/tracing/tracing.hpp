@@ -1,0 +1,171 @@
+// Causal distributed tracing — the context primitive and the per-node
+// event recorder.
+//
+// A TraceContext {trace_id, parent_span_id} is minted at the root of a
+// causal chain (an RPC call() issued outside any handler, a collective
+// start) and piggybacked on everything the chain touches: the RPC wire
+// header, packed CompletionRefs, signal messages, flight records.  Each
+// hop opens a *span* (client call, server handling, completion signal,
+// collective DAG op) parented to the span it was caused by, so the spans
+// of one trace form a tree that crosses nodes.
+//
+// The recorder stores flat *events*, not interval objects: a span is the
+// set of events sharing a span_id, opened by its first (opening-kind)
+// event and closed by the matching closing kind.  Events are plain
+// push_backs with no simulated cost and no CPU charge, so recording is
+// legal from any context — handler vthreads, poll fibers, tasklets, raw
+// engine context — and tracing never perturbs the virtual clock (the
+// traced-vs-untraced throughput delta is exactly zero by construction;
+// the bench trajectory gates it anyway).
+//
+// All nodes share one virtual clock, so cross-node event times are
+// directly comparable and assembly (see assembly.hpp) can reconstruct
+// each trace's wall time exactly from the event chain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.hpp"
+
+namespace pm2 {
+class MetricsRegistry;
+}
+
+namespace pm2::tracing {
+
+/// The piggybacked lineage: which trace an action belongs to, and which
+/// span new child spans should parent to.  trace_id 0 = untraced.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// Causal event kinds.  Opening kinds start a span; closing kinds end the
+/// span they name; mark kinds annotate an open span.  The RPC request
+/// path in nominal order:
+///   call-issued > marshal-done > send-done        (client, rpc.call span)
+///   wire-rx > enqueued > dispatched >             (server, rpc.server)
+///   handler-begin > handler-end
+///   signal-sent > signal-delivered                (rpc.signal span)
+enum class EventKind : std::uint8_t {
+  // -- opening kinds --
+  kCallIssued,     // opens rpc.call (client side of one hop)
+  kWireRx,         // opens rpc.server (request arrival, unexpected store)
+  kSignalSent,     // opens rpc.signal
+  kCollStart,      // opens coll (one rank's schedule-DAG root)
+  kCollOpIssued,   // opens coll.op (one DAG primitive)
+  // -- marks --
+  kMarshalDone,    // client: args serialised, pack about to submit
+  kSendDone,       // client: pack send completed (also closes rpc.call)
+  kEnqueued,       // server: receive done, message in the engine inbox
+  kDispatched,     // server: header parsed, handler vthread spawned
+  kHandlerBegin,   // server: handler body starts on its vthread
+  // -- closing kinds --
+  kHandlerEnd,     // closes rpc.server
+  kSignalDelivered,  // closes rpc.signal (on the completion's home node)
+  kCollOpDone,     // closes coll.op
+  kCollDone,       // closes coll
+};
+
+inline constexpr std::size_t kEventKindCount = 14;
+
+[[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
+[[nodiscard]] bool opens_span(EventKind k) noexcept;
+[[nodiscard]] bool closes_span(EventKind k) noexcept;
+/// The closing kind that ends a span opened by `open` (kSendDone closes
+/// kCallIssued, etc.).
+[[nodiscard]] EventKind closing_kind_for(EventKind open) noexcept;
+/// Human-readable span kind for an opening event ("rpc.call", "coll.op").
+[[nodiscard]] const char* span_kind_name(EventKind open) noexcept;
+
+/// One recorded causal event.  parent_span_id is meaningful on opening
+/// events only (it fixes the span's position in the trace tree).
+struct Event {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  EventKind kind = EventKind::kCallIssued;
+  std::uint32_t service = 0;  // rpc service id / coll op kind (context)
+  unsigned node = 0;
+  SimTime at = 0;
+};
+
+/// Cluster-wide id source shared by every node's Recorder.  The
+/// simulation is one process on one virtual clock, so plain increments
+/// give globally unique trace and span ids (and deterministic ones:
+/// allocation order is part of the fuzzed-but-seeded schedule).
+class IdSource {
+ public:
+  [[nodiscard]] std::uint64_t new_trace() noexcept { return next_trace_++; }
+  [[nodiscard]] std::uint64_t new_span() noexcept { return next_span_++; }
+
+ private:
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+};
+
+/// Per-node trace recorder.  Owned by the Cluster; the RPC and collective
+/// engines hold a raw pointer (nullptr = tracing off, every hook is one
+/// untaken branch).  Also keeps the node's *ambient* contexts: the trace
+/// context adopted by each live handler vthread, keyed by its
+/// marcel::Thread identity, so nested calls and signals issued from a
+/// handler parent to the handler's span without any explicit plumbing.
+class Recorder {
+ public:
+  Recorder(unsigned node, IdSource& ids) noexcept : node_(node), ids_(ids) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  [[nodiscard]] unsigned node() const noexcept { return node_; }
+
+  [[nodiscard]] std::uint64_t new_trace() noexcept {
+    ++counters_.traces_started;
+    return ids_.new_trace();
+  }
+  [[nodiscard]] std::uint64_t new_span() noexcept { return ids_.new_span(); }
+
+  /// Append one event.  Engine-context safe: no blocking, no CPU charge.
+  void record(std::uint64_t trace, std::uint64_t span, std::uint64_t parent,
+              EventKind kind, std::uint32_t service, SimTime at);
+
+  // -- ambient per-vthread context --
+
+  /// Adopt `ctx` as the ambient context of the fiber identified by `key`
+  /// (marcel::this_thread::self()).  A null key is ignored.
+  void adopt(const void* key, TraceContext ctx);
+  void drop(const void* key);
+  /// The ambient context of `key`, or an invalid context when none.
+  [[nodiscard]] TraceContext current(const void* key) const;
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  struct Counters {
+    std::uint64_t events = 0;
+    std::uint64_t spans_opened = 0;
+    std::uint64_t spans_closed = 0;
+    std::uint64_t traces_started = 0;  // minted here (roots on this node)
+  };
+  [[nodiscard]] const Counters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Bind the counters under `prefix` (e.g. "node0/rpc/trace").
+  void bind_metrics(MetricsRegistry& registry, std::string_view prefix) const;
+
+ private:
+  unsigned node_;
+  IdSource& ids_;
+  std::vector<Event> events_;
+  std::map<const void*, TraceContext> ambient_;
+  Counters counters_;
+};
+
+}  // namespace pm2::tracing

@@ -55,6 +55,20 @@ void Tracer::flow_end(std::string_view track, std::string_view name,
                           intern(name), 0, at, at, 0, id});
 }
 
+void Tracer::async_begin(std::string_view track, std::string_view name,
+                         SimTime at, std::uint64_t id,
+                         std::string_view category) {
+  events_.push_back(Event{Event::Kind::kAsyncBegin, track_id(track),
+                          intern(name), intern(category), at, at, 0, id});
+}
+
+void Tracer::async_end(std::string_view track, std::string_view name,
+                       SimTime at, std::uint64_t id,
+                       std::string_view category) {
+  events_.push_back(Event{Event::Kind::kAsyncEnd, track_id(track),
+                          intern(name), intern(category), at, at, 0, id});
+}
+
 std::string Tracer::to_json() const {
   // Build by appending to a std::string (never a fixed buffer: event names
   // are unbounded, and a truncated snprintf would cut a string literal in
@@ -121,6 +135,19 @@ std::string Tracer::to_json() const {
                       e.kind == Event::Kind::kFlowBegin ? "s" : "f",
                       static_cast<unsigned long long>(e.flow_id), ts, e.tid,
                       e.kind == Event::Kind::kFlowEnd ? ",\"bp\":\"e\"" : "");
+        out += num;
+        break;
+      case Event::Kind::kAsyncBegin:
+      case Event::Kind::kAsyncEnd:
+        out += "{\"name\":\"";
+        out += name;
+        out += "\",\"cat\":\"";
+        out += e.category == 0 ? "trace" : strings_[e.category];
+        std::snprintf(num, sizeof num,
+                      "\",\"ph\":\"%s\",\"id\":%llu,\"ts\":%.3f,"
+                      "\"pid\":1,\"tid\":%d}",
+                      e.kind == Event::Kind::kAsyncBegin ? "b" : "e",
+                      static_cast<unsigned long long>(e.flow_id), ts, e.tid);
         out += num;
         break;
     }

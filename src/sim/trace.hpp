@@ -51,6 +51,18 @@ class Tracer {
   void flow_end(std::string_view track, std::string_view name, SimTime at,
                 std::uint64_t id);
 
+  /// Start of an async span (Chrome "b" phase).  Async spans nest by
+  /// (category, id) rather than by stack order, so overlapping causal
+  /// spans — e.g. the per-hop spans of one assembled trace — render as
+  /// stacked bars on one track instead of corrupting the sync stack.
+  void async_begin(std::string_view track, std::string_view name, SimTime at,
+                   std::uint64_t id, std::string_view category = "trace");
+
+  /// End of the async span `(category, id)` (Chrome "e" phase).  Name and
+  /// category must match the async_begin.
+  void async_end(std::string_view track, std::string_view name, SimTime at,
+                 std::uint64_t id, std::string_view category = "trace");
+
   /// Serialize all events as a Chrome trace JSON array.
   [[nodiscard]] std::string to_json() const;
 
@@ -75,6 +87,8 @@ class Tracer {
       kCounter,
       kFlowBegin,
       kFlowEnd,
+      kAsyncBegin,
+      kAsyncEnd,
     };
     Kind kind;
     int tid;

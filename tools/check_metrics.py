@@ -3,7 +3,8 @@
 
 Usage:
     check_metrics.py METRICS_JSON [--expect-coll] [--expect-locks]
-                     [--expect-rpc] [--expect-offload-beats BASELINE_JSON]
+                     [--expect-rpc] [--expect-spans]
+                     [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
 the attribution numbers are internally consistent.  With
@@ -23,6 +24,13 @@ its work: globally every issued call was dispatched exactly once and
 every signal sent was delivered; per node every dispatch spawned a
 handler that finished, every completion was satisfied, nothing is left
 queued, and the handler-latency histogram accounts for every handler.
+With --expect-spans, additionally validates the causal-tracing section:
+every opened span closed, every parent_span_id resolves inside its own
+trace, span trees are acyclic with a single root, each tail exemplar's
+critical path is a contiguous chain of non-negative segments covering
+[begin, end], segment sums never exceed the trace duration, and for
+complete RPC exemplars the segments reconstruct the end-to-end latency
+to within 1%.
 """
 
 import json
@@ -240,6 +248,103 @@ def check_rpc(path: str, doc: dict) -> None:
           f"{sig_sent} signals delivered on {len(nodes)} nodes)")
 
 
+def check_spans(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    tracing = doc.get("tracing")
+    if not isinstance(tracing, dict):
+        fail(f"{path}: tracing section missing (ClusterConfig::tracing off?)")
+    for field in ("events", "spans", "open_spans", "traces",
+                  "traces_complete"):
+        if not isinstance(tracing.get(field), int):
+            fail(f"{path}: tracing.{field} missing")
+    if tracing["events"] == 0:
+        fail(f"{path}: tracing enabled but no events recorded")
+    if tracing["open_spans"] != 0:
+        fail(f"{path}: {tracing['open_spans']} spans never closed")
+    # Cross-check the assembly totals against the per-node recorder
+    # counters — the two are produced by independent code paths.
+    opened = sum(v for name, v in counters.items()
+                 if name.endswith("/trace/spans_opened"))
+    closed = sum(v for name, v in counters.items()
+                 if name.endswith("/trace/spans_closed"))
+    events = sum(v for name, v in counters.items()
+                 if name.endswith("/trace/events"))
+    if opened == 0:
+        fail(f"{path}: no nodeN/rpc/trace counters (recorders not bound)")
+    if opened != closed:
+        fail(f"{path}: spans_opened {opened} != spans_closed {closed}")
+    if opened != tracing["spans"]:
+        fail(f"{path}: recorder counters opened {opened} spans but the "
+             f"assembly holds {tracing['spans']}")
+    if events != tracing["events"]:
+        fail(f"{path}: recorder counters hold {events} events but the "
+             f"assembly holds {tracing['events']}")
+
+    exemplars = tracing.get("exemplars")
+    if not isinstance(exemplars, list) or not exemplars:
+        fail(f"{path}: tracing.exemplars missing or empty")
+    reconstructed = 0
+    for ex in exemplars:
+        tid = ex.get("trace_id")
+        spans = ex.get("spans")
+        if not isinstance(spans, list) or not spans:
+            fail(f"{path}: trace {tid}: no spans")
+        by_id = {}
+        for s in spans:
+            if s["id"] in by_id:
+                fail(f"{path}: trace {tid}: duplicate span id {s['id']}")
+            by_id[s["id"]] = s
+        roots = 0
+        for s in spans:
+            if not s["closed"]:
+                fail(f"{path}: trace {tid}: span {s['id']} never closed")
+            if s["begin_ns"] > s["end_ns"]:
+                fail(f"{path}: trace {tid}: span {s['id']} ends before "
+                     f"it begins")
+            if s["parent"] == 0:
+                roots += 1
+            elif s["parent"] not in by_id:
+                fail(f"{path}: trace {tid}: span {s['id']} parent "
+                     f"{s['parent']} does not resolve within the trace")
+        if roots != 1:
+            fail(f"{path}: trace {tid}: {roots} root spans, expected 1")
+        for s in spans:  # acyclic: every parent chain must reach the root
+            hops, cur = 0, s
+            while cur["parent"] != 0:
+                cur = by_id[cur["parent"]]
+                hops += 1
+                if hops > len(spans):
+                    fail(f"{path}: trace {tid}: span parent cycle via "
+                         f"{s['id']}")
+        cp = ex.get("critical_path")
+        if not isinstance(cp, list) or not cp:
+            fail(f"{path}: trace {tid}: no critical path")
+        total = 0
+        for i, seg in enumerate(cp):
+            if seg["to_ns"] < seg["from_ns"]:
+                fail(f"{path}: trace {tid}: negative segment "
+                     f"{seg['segment']}")
+            if i + 1 < len(cp) and seg["to_ns"] != cp[i + 1]["from_ns"]:
+                fail(f"{path}: trace {tid}: critical path not contiguous "
+                     f"at {seg['segment']}")
+            total += seg["to_ns"] - seg["from_ns"]
+        e2e = ex["e2e_ns"]
+        if total > e2e:
+            fail(f"{path}: trace {tid}: segment sum {total} ns exceeds "
+                 f"trace duration {e2e} ns")
+        if ex.get("complete") and ex.get("kind") == "rpc":
+            if abs(total - e2e) > 0.01 * e2e:
+                fail(f"{path}: trace {tid}: segments sum to {total} ns "
+                     f"but e2e is {e2e} ns (>1% reconstruction error)")
+            reconstructed += 1
+    if reconstructed == 0:
+        fail(f"{path}: no complete RPC exemplar to reconstruct")
+    print(f"check_metrics: {path}: spans ok ({tracing['spans']} spans "
+          f"closed across {tracing['traces']} traces; {len(exemplars)} "
+          f"exemplars, {reconstructed} critical paths reconstruct e2e "
+          f"within 1%)")
+
+
 def main() -> None:
     args = sys.argv[1:]
     if not args or args[0] in ("-h", "--help"):
@@ -256,6 +361,9 @@ def main() -> None:
     if "--expect-rpc" in args:
         check_rpc(args[0], offload)
         args = [a for a in args if a != "--expect-rpc"]
+    if "--expect-spans" in args:
+        check_spans(args[0], offload)
+        args = [a for a in args if a != "--expect-spans"]
     if len(args) >= 3 and args[1] == "--expect-offload-beats":
         baseline = check_document(args[2])
         off_crit = offload["attribution"]["critical_path_us"]["mean"]
