@@ -87,21 +87,14 @@ void Server::set_block_support(BlockSupport support) {
 }
 
 int Server::add_work_probe(std::function<bool()> probe) {
-  const int id = next_probe_id_++;
-  work_probes_.emplace_back(id, std::move(probe));
-  return id;
+  return work_probes_.insert(std::move(probe));
 }
 
-void Server::remove_work_probe(int id) {
-  std::erase_if(work_probes_, [id](const auto& e) { return e.first == id; });
-}
+void Server::remove_work_probe(int id) { work_probes_.erase(id); }
 
 bool Server::has_work() const {
   if (armed_ > 0 || !posted_.empty()) return true;
-  for (const auto& [id, probe] : work_probes_) {
-    if (probe()) return true;
-  }
-  return false;
+  return work_probes_.any_of([](const auto& probe) { return probe(); });
 }
 
 void Server::arm() {

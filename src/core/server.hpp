@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/simtime.hpp"
+#include "common/slot_map.hpp"
 #include "core/config.hpp"
 #include "marcel/node.hpp"
 #include "marcel/tasklet.hpp"
@@ -83,6 +84,11 @@ class Server {
   /// the server must remove its probe (it captures the layer's state).
   int add_work_probe(std::function<bool()> probe);
   void remove_work_probe(int id);
+  /// Probe registry slot high-water mark (live + reusable holes); bounded
+  /// by regression tests across register/unregister churn.
+  [[nodiscard]] std::size_t work_probe_slots() const noexcept {
+    return work_probes_.slot_count();
+  }
 
   // ---- event posting ----
 
@@ -192,8 +198,7 @@ class Server {
   [[nodiscard]] bool has_work() const;
 
   BlockSupport block_support_;
-  std::vector<std::pair<int, std::function<bool()>>> work_probes_;
-  int next_probe_id_ = 1;
+  SlotMap<std::function<bool()>> work_probes_;
   bool interrupts_enabled_ = false;
   Method method_ = Method::kPolling;
 

@@ -87,51 +87,40 @@ unsigned Node::idle_cpu_count() const noexcept {
 }
 
 int Node::add_idle_hook(IdleHook hook) {
-  const int id = next_hook_id_++;
-  idle_hooks_.push_back({id, std::move(hook)});
+  const int id = idle_hooks_.insert(std::move(hook));
   kick_idle_cpus();
   return id;
 }
 
-void Node::remove_idle_hook(int id) {
-  std::erase_if(idle_hooks_, [id](const auto& e) { return e.id == id; });
-}
+void Node::remove_idle_hook(int id) { idle_hooks_.erase(id); }
 
 int Node::add_tick_hook(TickHook hook) {
-  const int id = next_hook_id_++;
-  tick_hooks_.push_back({id, std::move(hook)});
-  return id;
+  return tick_hooks_.insert(std::move(hook));
 }
 
-void Node::remove_tick_hook(int id) {
-  std::erase_if(tick_hooks_, [id](const auto& e) { return e.id == id; });
-}
+void Node::remove_tick_hook(int id) { tick_hooks_.erase(id); }
 
 int Node::add_switch_hook(SwitchHook hook) {
-  const int id = next_hook_id_++;
-  switch_hooks_.push_back({id, std::move(hook)});
-  return id;
+  return switch_hooks_.insert(std::move(hook));
 }
 
-void Node::remove_switch_hook(int id) {
-  std::erase_if(switch_hooks_, [id](const auto& e) { return e.id == id; });
-}
+void Node::remove_switch_hook(int id) { switch_hooks_.erase(id); }
 
 bool Node::run_idle_hooks(Cpu& cpu) {
   bool any = false;
-  for (auto& e : idle_hooks_) any = e.fn(cpu) || any;
+  idle_hooks_.for_each([&](IdleHook& fn) { any = fn(cpu) || any; });
   return any;
 }
 
 void Node::run_tick_hooks(Cpu& cpu) {
   lockdep::engine_context_enter("tick-hooks");
-  for (auto& e : tick_hooks_) e.fn(cpu);
+  tick_hooks_.for_each([&](TickHook& fn) { fn(cpu); });
   lockdep::engine_context_exit();
 }
 
 void Node::run_switch_hooks(Cpu& cpu) {
   lockdep::engine_context_enter("switch-hooks");
-  for (auto& e : switch_hooks_) e.fn(cpu);
+  switch_hooks_.for_each([&](SwitchHook& fn) { fn(cpu); });
   lockdep::engine_context_exit();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/simtime.hpp"
+#include "common/slot_map.hpp"
 #include "marcel/config.hpp"
 #include "marcel/cpu.hpp"
 #include "marcel/thread.hpp"
@@ -57,7 +58,8 @@ class Node {
   /// Count of CPUs currently idle or merely idle-polling.
   [[nodiscard]] unsigned idle_cpu_count() const noexcept;
 
-  // Hook registration.  Ids are stable; unregistering is O(n).
+  // Hook registration.  Ids are stable; registration and unregistration
+  // are O(1) via a slot-reusing registry (a stale id is ignored).
   int add_idle_hook(IdleHook hook);
   void remove_idle_hook(int id);
   int add_tick_hook(TickHook hook);
@@ -72,6 +74,17 @@ class Node {
   void run_switch_hooks(Cpu& cpu);
   [[nodiscard]] bool has_idle_hooks() const noexcept {
     return !idle_hooks_.empty();
+  }
+  /// Registry slot high-water marks (live + reusable holes) — regression
+  /// tests bound these to prove hook churn does not grow the tables.
+  [[nodiscard]] std::size_t idle_hook_slots() const noexcept {
+    return idle_hooks_.slot_count();
+  }
+  [[nodiscard]] std::size_t tick_hook_slots() const noexcept {
+    return tick_hooks_.slot_count();
+  }
+  [[nodiscard]] std::size_t switch_hook_slots() const noexcept {
+    return switch_hooks_.slot_count();
   }
 
   /// Kick every halted CPU of this node (used when new pollable work
@@ -105,15 +118,9 @@ class Node {
   std::vector<std::unique_ptr<Thread>> threads_;
   unsigned next_spawn_cpu_ = 0;
 
-  template <typename H>
-  struct HookEntry {
-    int id;
-    H fn;
-  };
-  std::vector<HookEntry<IdleHook>> idle_hooks_;
-  std::vector<HookEntry<TickHook>> tick_hooks_;
-  std::vector<HookEntry<SwitchHook>> switch_hooks_;
-  int next_hook_id_ = 1;
+  SlotMap<IdleHook> idle_hooks_;
+  SlotMap<TickHook> tick_hooks_;
+  SlotMap<SwitchHook> switch_hooks_;
 };
 
 }  // namespace pm2::marcel

@@ -71,6 +71,27 @@ struct Config {
   /// Spin granule of a contended engine-lock acquisition.
   SimDuration engine_lock_spin = 50;  // ns
 
+  /// Sharded matching (src/nmad/matching): split the match tables into
+  /// this many per-peer×tag-band shards, each behind its own fine-grained
+  /// modeled lock ("node<i>/locks/shard<s>", spin = engine_lock_spin),
+  /// with lock-free MPSC posting rings on the gates so N threads inject
+  /// concurrently.  0 = the paper's single matching path behind the
+  /// engine lock; any N > 0 replaces the engine lock (engine_lock is
+  /// ignored) with the per-shard light locks.
+  unsigned match_shards = 0;
+
+  /// Tag-band granularity of the shard map: tags within the same
+  /// 2^tag_band_shift block share a shard (for a fixed peer).  Flows that
+  /// must not serialize on one shard lock should space their tags at
+  /// least one band apart.
+  unsigned tag_band_shift = 3;
+
+  /// One NIC endpoint per virtual core: the Cluster facade sizes the
+  /// fabric to cpus_per_node rails and injection/progression prefer the
+  /// submitting core's own rail, so concurrent senders do not serialize
+  /// on a single link.  Off = the paper's shared per-node NIC.
+  bool per_core_endpoints = false;
+
   /// CPU cost per byte for receive-side copies (NIC buffer → user buffer,
   /// or packet → unexpected-message buffer, §2.2 "receive path").
   double copy_ns_per_byte = 0.35;

@@ -54,9 +54,14 @@ Core::Core(marcel::Node& node, net::Fabric& fabric, piom::Server* server,
       fabric_(fabric),
       server_(server),
       cfg_(cfg),
-      strategy_(make_strategy(cfg_.strategy, cfg_)) {
+      strategy_(make_strategy(cfg_.strategy, cfg_)),
+      match_(node.index(), cfg_.match_shards > 0 ? cfg_.match_shards : 1,
+             cfg_.tag_band_shift, cfg_.engine_lock_spin,
+             /*model_locks=*/cfg_.match_shards > 0) {
   PM2_ASSERT((server_ != nullptr) == (cfg_.mode == ProgressMode::kPioman));
-  if (cfg_.engine_lock) {
+  if (cfg_.engine_lock && cfg_.match_shards == 0) {
+    // Sharded matching replaces the library-wide lock with the per-shard
+    // light locks; the big lock exists only on the legacy single path.
     elock_ = std::make_unique<EngineLock>(cfg_.engine_lock_spin);
     lock_profile::register_site(
         elock_.get(),
@@ -196,7 +201,15 @@ Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
   req->op = Request::Op::kSend;
   req->peer = dst;
   req->tag = tag;
-  req->seq = flows_[{dst, tag}].send_next++;
+  {
+    // Sequence allocation is the only shared-matching-state touch on the
+    // send path; the shard guard (free in legacy mode, where the engine
+    // lock above already covers it) closes it.  No suspension point sits
+    // between the allocation and the table update inside next_send_seq.
+    matching::Shard& sh = match_.shard_for(dst, tag);
+    EngineLockGuard sg(sh.lock.get());
+    req->seq = sh.next_send_seq(dst, tag);
+  }
   req->send_data = data;
   req->state = Request::State::kQueued;
   req->issued_at = fabric_.engine().now();
@@ -211,11 +224,16 @@ Request* Core::isend(unsigned dst, Tag tag, std::span<const std::byte> data) {
     // requests to PIOMan in order to ensure the progression") — send it
     // right away instead of deferring it with the expensive eager copies.
     server_->arm();
-    const unsigned rail = gate.rr_rail;
-    gate.rr_rail = (gate.rr_rail + 1) % rails();
+    unsigned rail;
+    if (cfg_.per_core_endpoints) {
+      rail = preferred_rail();
+    } else {
+      rail = gate.rr_rail;
+      gate.rr_rail = (gate.rr_rail + 1) % rails();
+    }
     inject_rts(gate, rail, *req);
   } else {
-    gate.sendq.push_back(*req);
+    enqueue_send(gate, *req);
     flight_stamp(*req, Stage::kEnqueued);
     if (server_ != nullptr) {
       server_->arm();
@@ -253,7 +271,13 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   req->op = Request::Op::kRecv;
   req->peer = src;
   req->tag = tag;
-  req->seq = flows_[{src, tag}].recv_next++;
+  // The shard guard (free in legacy mode) covers sequence allocation AND
+  // the match attempt below: nothing may slip between the cursor bump and
+  // the table lookup keyed on it.
+  matching::Shard& sh = match_.shard_for(src, tag);
+  EngineLockGuard sg(sh.lock.get());
+  req->seq = sh.next_recv_seq(src, tag);
+  ++sh.stats.recvs_posted;
   req->recv_buf = buffer;
   req->state = Request::State::kPosted;
   req->issued_at = fabric_.engine().now();
@@ -270,7 +294,7 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
   }
 
   const MatchKey key{src, tag, req->seq};
-  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+  if (auto it = sh.unexpected.find(key); it != sh.unexpected.end()) {
     // The message already arrived and sits in the unexpected buffer:
     // second copy into the application buffer (§2.2 receive path).
     const auto& payload = it->second.payload;
@@ -284,21 +308,33 @@ Request* Core::irecv(unsigned src, Tag tag, std::span<std::byte> buffer) {
     charge_copy(payload.size());
     std::memcpy(buffer.data(), payload.data(), payload.size());
     req->received_len = payload.size();
-    unexpected_.erase(it);
-    if (tag >= kRpcTagBase) --rpc_unexpected_;
+    sh.unexpected.erase(it);
+    ++sh.stats.recvs_matched;
+    ++sh.stats.buffered_claimed;
+    if (tag >= kRpcTagBase) {
+      --rpc_unexpected_;
+      // Purge the pending-dispatch entry at match time so the RPC pump
+      // never pops a (src, tag) whose message is already gone.
+      sh.purge_rpc_pending(src, tag);
+    }
     complete(*req);
     trace_span("nm:irecv", t0);
     return req;
   }
-  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
-    const UnexpectedRts rts = it->second;
-    unexpected_rts_.erase(it);
-    if (tag >= kRpcTagBase) --rpc_unexpected_;
+  if (auto it = sh.unexpected_rts.find(key); it != sh.unexpected_rts.end()) {
+    const matching::UnexpectedRts rts = it->second;
+    sh.unexpected_rts.erase(it);
+    ++sh.stats.recvs_matched;
+    ++sh.stats.buffered_claimed;
+    if (tag >= kRpcTagBase) {
+      --rpc_unexpected_;
+      sh.purge_rpc_pending(src, tag);
+    }
     start_rdv_recv(*req, src, rts.rdv, rts.size, rts.arrived_at);
     trace_span("nm:irecv", t0);
     return req;
   }
-  posted_recvs_[key] = req;
+  sh.posted[key] = req;
   trace_span("nm:irecv", t0);
   return req;
 }
@@ -397,29 +433,26 @@ bool Core::probe(unsigned src, Tag tag) const {
   EngineLockGuard lg(elock_.get());
   // A message the *next* irecv(src, tag) would match: the flow's next
   // receive sequence number, already sitting in an unexpected buffer.
-  const auto flow = flows_.find({src, tag});
-  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
-  const MatchKey key{src, tag, next};
-  return unexpected_.contains(key) || unexpected_rts_.contains(key);
+  const matching::Shard& sh = match_.shard_for(src, tag);
+  EngineLockGuard sg(sh.lock.get());
+  const MatchKey key{src, tag, sh.peek_recv_seq(src, tag)};
+  return sh.unexpected.contains(key) || sh.unexpected_rts.contains(key);
 }
 
 std::optional<std::pair<unsigned, Tag>> Core::pop_rpc_pending() {
   EngineLockGuard lg(elock_.get());
-  if (rpc_pending_.empty()) return std::nullopt;
-  const auto key = rpc_pending_.front();
-  rpc_pending_.pop_front();
-  return key;
+  return match_.pop_rpc_pending();
 }
 
 std::optional<std::uint32_t> Core::probe_size(unsigned src, Tag tag) const {
   EngineLockGuard lg(elock_.get());
-  const auto flow = flows_.find({src, tag});
-  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
-  const MatchKey key{src, tag, next};
-  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+  const matching::Shard& sh = match_.shard_for(src, tag);
+  EngineLockGuard sg(sh.lock.get());
+  const MatchKey key{src, tag, sh.peek_recv_seq(src, tag)};
+  if (auto it = sh.unexpected.find(key); it != sh.unexpected.end()) {
     return static_cast<std::uint32_t>(it->second.payload.size());
   }
-  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
+  if (auto it = sh.unexpected_rts.find(key); it != sh.unexpected_rts.end()) {
     return it->second.size;
   }
   return std::nullopt;
@@ -427,23 +460,37 @@ std::optional<std::uint32_t> Core::probe_size(unsigned src, Tag tag) const {
 
 std::optional<SimTime> Core::probe_arrival(unsigned src, Tag tag) const {
   EngineLockGuard lg(elock_.get());
-  const auto flow = flows_.find({src, tag});
-  const Seq next = flow == flows_.end() ? 0 : flow->second.recv_next;
-  const MatchKey key{src, tag, next};
-  if (auto it = unexpected_.find(key); it != unexpected_.end()) {
+  const matching::Shard& sh = match_.shard_for(src, tag);
+  EngineLockGuard sg(sh.lock.get());
+  const MatchKey key{src, tag, sh.peek_recv_seq(src, tag)};
+  if (auto it = sh.unexpected.find(key); it != sh.unexpected.end()) {
     return it->second.arrived_at;
   }
-  if (auto it = unexpected_rts_.find(key); it != unexpected_rts_.end()) {
+  if (auto it = sh.unexpected_rts.find(key); it != sh.unexpected_rts.end()) {
     return it->second.arrived_at;
   }
   return std::nullopt;
 }
 
-bool Core::progress(marcel::Cpu&) {
+unsigned Core::preferred_rail() const noexcept {
+  if (!cfg_.per_core_endpoints) return 0;
+  const marcel::Cpu* cpu = marcel::detail::current_cpu();
+  return cpu != nullptr ? cpu->index() % fabric_.rails() : 0;
+}
+
+bool Core::progress(marcel::Cpu& cpu) {
   marcel::EngineScope es;
   EngineLockGuard lg(elock_.get());
   bool any = false;
-  for (unsigned r = 0; r < fabric_.rails(); ++r) {
+  const unsigned nrails = fabric_.rails();
+  // Per-core endpoints: start at this core's own rail so each polling
+  // core drains its own endpoint first and concurrent pollers spread the
+  // receive work instead of all charging for rail 0's events; the full
+  // sweep still covers every rail (liveness when cores sleep).
+  const unsigned start =
+      cfg_.per_core_endpoints ? cpu.index() % nrails : 0;
+  for (unsigned i = 0; i < nrails; ++i) {
+    const unsigned r = (start + i) % nrails;
     net::Nic& nic = fabric_.nic(node_id(), r);
     while (auto ev = nic.poll()) {
       handle_event(std::move(*ev));
@@ -455,9 +502,37 @@ bool Core::progress(marcel::Cpu&) {
 
 // ------------------------------------------------------------ submission
 
+void Core::enqueue_send(Gate& gate, Request& req) {
+  if (sharded()) {
+    // Lock-free submission: the posting thread never serializes on a
+    // queue lock.  Whoever flushes next (possibly this thread, right
+    // after) drains the ring.
+    gate.ring.push(req);
+  } else {
+    gate.sendq.push_back(req);
+  }
+}
+
 void Core::flush_gate(Gate& gate) {
   marcel::EngineScope es;
   EngineLockGuard lg(elock_.get());
+  if (sharded()) {
+    // Drain the posting ring into the staging queue, then let the
+    // strategy inject.  Several fibers may be here at once — ring pops
+    // and sendq pops are atomic between suspension points, so concurrent
+    // flushers split the queue and inject in parallel on their own
+    // preferred rails (this, not the ring itself, is where the sharded
+    // mode's injection concurrency comes from).  Loop until both are
+    // empty: a push that lands while we are suspended inside the
+    // strategy is picked up by the next iteration, and the final
+    // drain → empty-check → return sequence has no suspension point in
+    // it, so no message can be stranded.
+    while (true) {
+      while (Request* r = gate.ring.pop()) gate.sendq.push_back(*r);
+      if (gate.sendq.empty()) return;
+      strategy_->flush(*this, gate);
+    }
+  }
   if (gate.sendq.empty()) return;  // a previous flush already drained it
   strategy_->flush(*this, gate);
 }
@@ -636,12 +711,19 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
   // charging consumes virtual CPU time, i.e. it is a suspension point, and
   // the application may post the matching irecv while we are suspended.
   // All matching decisions must happen after the last suspension point —
-  // the simulation analogue of §2.1's per-event mutual exclusion.
+  // the simulation analogue of §2.1's per-event mutual exclusion.  The
+  // shard guard below can itself suspend (contended spin), so it too is
+  // taken before the lookup; once held, match and table update are atomic.
   charge_copy(payload.size());
+  matching::Shard& sh = match_.shard_for(src, hdr.tag);
+  EngineLockGuard sg(sh.lock.get());
+  ++sh.stats.arrivals;
   const MatchKey key{src, hdr.tag, hdr.seq};
-  if (auto it = posted_recvs_.find(key); it != posted_recvs_.end()) {
+  if (auto it = sh.posted.find(key); it != sh.posted.end()) {
     Request* req = it->second;
-    posted_recvs_.erase(it);
+    sh.posted.erase(it);
+    ++sh.stats.arrivals_matched;
+    ++sh.stats.recvs_matched;
     PM2_ASSERT_MSG(payload.size() <= req->recv_buf.size(),
                    "receive buffer too small");
     if (req->flight_on) {
@@ -659,12 +741,13 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
     complete(*req);
   } else {
     // Unexpected: park a copy in the dedicated unexpected-message buffer.
-    unexpected_.emplace(
-        key, UnexpectedEager{{payload.begin(), payload.end()}, t0});
+    sh.unexpected.emplace(
+        key, matching::UnexpectedEager{{payload.begin(), payload.end()}, t0});
+    ++sh.stats.arrivals_buffered;
     ++stats_.unexpected_eager;
     if (hdr.tag >= kRpcTagBase) {
       ++rpc_unexpected_;
-      rpc_pending_.emplace_back(src, hdr.tag);
+      sh.rpc_pending.emplace_back(src, hdr.tag);
     }
   }
   const SimTime mid = trace_span("nm:deliver", t0);
@@ -674,17 +757,24 @@ void Core::handle_eager(unsigned src, const WireHeader& hdr,
 
 void Core::handle_rts(unsigned src, const WireHeader& hdr) {
   const SimTime now = fabric_.engine().now();
+  matching::Shard& sh = match_.shard_for(src, hdr.tag);
+  EngineLockGuard sg(sh.lock.get());
+  ++sh.stats.arrivals;
   const MatchKey key{src, hdr.tag, hdr.seq};
-  if (auto it = posted_recvs_.find(key); it != posted_recvs_.end()) {
+  if (auto it = sh.posted.find(key); it != sh.posted.end()) {
     Request* req = it->second;
-    posted_recvs_.erase(it);
+    sh.posted.erase(it);
+    ++sh.stats.arrivals_matched;
+    ++sh.stats.recvs_matched;
     start_rdv_recv(*req, src, hdr.rdv, hdr.size, now);
   } else {
-    unexpected_rts_.emplace(key, UnexpectedRts{hdr.rdv, hdr.size, now});
+    sh.unexpected_rts.emplace(
+        key, matching::UnexpectedRts{hdr.rdv, hdr.size, now});
+    ++sh.stats.arrivals_buffered;
     ++stats_.unexpected_rts;
     if (hdr.tag >= kRpcTagBase) {
       ++rpc_unexpected_;
-      rpc_pending_.emplace_back(src, hdr.tag);
+      sh.rpc_pending.emplace_back(src, hdr.tag);
     }
   }
 }
@@ -890,6 +980,10 @@ void Core::bind_metrics(MetricsRegistry& registry,
   registry.bind_counter(p + "/dropped_malformed", &stats_.dropped_malformed);
   registry.bind_counter(p + "/pack_msgs", &stats_.pack_msgs);
   registry.bind_counter(p + "/pack_segments", &stats_.pack_segments);
+  // Per-shard matching counters + pending gauges ("<prefix>/shardS/*"):
+  // bound in every mode (legacy = one shard), so the conservation checks
+  // of tools/check_metrics.py --expect-shards apply to any metrics.json.
+  match_.bind_metrics(registry, prefix);
 }
 
 }  // namespace pm2::nm

@@ -24,9 +24,11 @@
 #include "core/server.hpp"
 #include "marcel/node.hpp"
 #include "netsim/fabric.hpp"
+#include "common/mpsc_queue.hpp"
 #include "nmad/config.hpp"
 #include "nmad/engine_lock.hpp"
 #include "nmad/flight.hpp"
+#include "nmad/matching/store.hpp"
 #include "nmad/request.hpp"
 #include "nmad/strategy.hpp"
 #include "nmad/wire.hpp"
@@ -44,6 +46,13 @@ struct Gate {
   unsigned peer = 0;
   IntrusiveList<Request, &Request::hook> sendq;  // packs awaiting submission
   unsigned rr_rail = 0;                          // round-robin rail cursor
+
+  /// Sharded-matching mode only: lock-free MPSC posting ring.  isend
+  /// pushes here without any lock; flush_gate drains the ring into sendq
+  /// before running the strategy.  Several fibers may flush concurrently
+  /// (pops are atomic between suspension points), which is what lets N
+  /// submitting cores inject in parallel.
+  MpscQueue<Request, &Request::mpsc_hook> ring;
 
   Gate() = default;
   Gate(const Gate&) = delete;
@@ -123,10 +132,12 @@ class Core {
     return rpc_unexpected_;
   }
 
-  /// Pop one (src, tag) for which an RPC-band message was buffered
-  /// unexpected.  Entries can be stale — the message may already have
-  /// been matched — so callers must re-check with probe_size() before
-  /// posting a receive.  nullopt when nothing is queued.
+  /// Pop one (src, tag) for which an RPC-band message is buffered
+  /// unexpected.  Entries are purged from the queue the moment an irecv
+  /// claims the buffered message, so a popped entry always refers to a
+  /// message still in the unexpected store — probe_size() is for sizing
+  /// the receive, not for staleness re-validation.  nullopt when nothing
+  /// is queued.
   [[nodiscard]] std::optional<std::pair<unsigned, Tag>> pop_rpc_pending();
 
   /// Attach a continuation to `req` instead of wait()ing on it: `fn` runs
@@ -176,6 +187,30 @@ class Core {
   [[nodiscard]] piom::Server* server() noexcept { return server_; }
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
   [[nodiscard]] unsigned rails() const noexcept { return fabric_.rails(); }
+
+  /// True when matching runs on the sharded store (Config::match_shards).
+  [[nodiscard]] bool sharded() const noexcept {
+    return cfg_.match_shards > 0;
+  }
+
+  /// The sharded matching store (single shard in legacy mode); exposed so
+  /// tests can verify the per-shard conservation laws directly.
+  [[nodiscard]] const matching::Store& match_store() const noexcept {
+    return match_;
+  }
+
+  /// The rail this core's submissions should use: with per-core endpoints
+  /// every virtual core owns one NIC endpoint (its own rail); otherwise
+  /// rail 0, the paper's shared per-node NIC (strategies that round-robin
+  /// keep doing so).
+  [[nodiscard]] unsigned preferred_rail() const noexcept;
+
+  /// Test hook: place the send AND receive sequence cursors of the
+  /// (peer, tag) flow at `next`, so the 32-bit wire-Seq wrap boundary is
+  /// reachable without 2^32 real messages.
+  void debug_seed_seq(unsigned peer, Tag tag, std::uint64_t next) {
+    match_.shard_for(peer, tag).seed_seq(peer, tag, next);
+  }
 
   /// The reliable-delivery sublayer, or nullptr when Config::reliable is
   /// off (the paper's lossless fast path).
@@ -239,26 +274,15 @@ class Core {
   void inject_rts(Gate& gate, unsigned rail, Request& req);
 
  private:
-  using MatchKey = std::tuple<unsigned, Tag, Seq>;  // (src, tag, seq)
-
-  struct Flow {
-    Seq send_next = 0;
-    Seq recv_next = 0;
-  };
-
-  struct UnexpectedEager {
-    std::vector<std::byte> payload;
-    SimTime arrived_at = 0;  // wire-rx stamp for the eventual irecv
-  };
-  struct UnexpectedRts {
-    std::uint64_t rdv = 0;
-    std::uint32_t size = 0;
-    SimTime arrived_at = 0;
-  };
+  using MatchKey = matching::MatchKey;  // (src, tag, seq)
 
   Request* acquire();
   void release(Request* req);
   void complete(Request& req);
+
+  /// Stage a queued eager send: gate sendq in legacy mode, the lock-free
+  /// posting ring in sharded mode.
+  void enqueue_send(Gate& gate, Request& req);
 
   void flush_gate(Gate& gate);
 
@@ -298,23 +322,22 @@ class Core {
   net::Fabric& fabric_;
   piom::Server* server_;
   Config cfg_;
-  // Modeled library-wide lock (Config::engine_lock); null when disabled.
+  // Modeled library-wide lock (Config::engine_lock); null when disabled
+  // and in sharded mode, where the per-shard light locks replace it.
   // Profiled as "node<i>/locks/engine".
   std::unique_ptr<EngineLock> elock_;
   std::unique_ptr<Strategy> strategy_;
   std::unique_ptr<Reliability> reliable_;
   std::deque<Gate> gates_;  // indexed by peer node id
 
-  std::map<std::pair<unsigned, Tag>, Flow> flows_;
-  std::map<MatchKey, Request*> posted_recvs_;
-  std::map<MatchKey, UnexpectedEager> unexpected_;
-  std::map<MatchKey, UnexpectedRts> unexpected_rts_;
+  // Matching state (flows, posted recvs, unexpected messages, pending RPC
+  // dispatch): one shard in legacy mode, Config::match_shards otherwise.
+  matching::Store match_;
   std::map<std::uint64_t, Request*> rdv_sends_;   // rdv id -> send request
   std::map<std::uint64_t, Request*> rdma_recvs_;  // handle -> recv request
   std::uint64_t next_rdv_ = 1;
   std::uint64_t coll_tag_cursor_ = 0;  // next unused offset into the band
   std::size_t rpc_unexpected_ = 0;     // buffered unexpecteds on rpc band
-  std::deque<std::pair<unsigned, Tag>> rpc_pending_;  // their (src, tag)
 
   int ltask_id_ = 0;
   int probe_id_ = 0;

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "common/intrusive_list.hpp"
+#include "common/mpsc_queue.hpp"
 #include "core/cond.hpp"
 #include "nmad/flight.hpp"
 #include "nmad/wire.hpp"
@@ -71,7 +72,8 @@ struct Request {
   FlightRecord flight;
   bool flight_on = false;
 
-  ListHook hook;  // gate submission queue linkage
+  ListHook hook;       // gate submission queue linkage
+  MpscHook mpsc_hook;  // gate posting-ring linkage (sharded matching mode)
 
   [[nodiscard]] std::size_t size() const noexcept {
     return op == Op::kSend ? send_data.size() : recv_buf.size();

@@ -8,7 +8,9 @@
 namespace pm2::nm {
 namespace {
 
-/// One pack per packet, everything on rail 0: the reference behaviour.
+/// One pack per packet on the flushing core's endpoint: rail 0 (the
+/// reference behaviour) unless per-core endpoints are on, in which case
+/// each core injects on its own rail.
 class FifoStrategy final : public Strategy {
  public:
   explicit FifoStrategy(const Config& cfg) : cfg_(cfg) {}
@@ -17,11 +19,12 @@ class FifoStrategy final : public Strategy {
 
   void flush(Core& core, Gate& gate) override {
     while (Request* req = gate.sendq.pop_front()) {
+      const unsigned rail = core.preferred_rail();
       if (req->send_data.size() > cfg_.rdv_threshold) {
-        core.inject_rts(gate, 0, *req);
+        core.inject_rts(gate, rail, *req);
       } else {
         Request* one[] = {req};
-        core.inject_eager_batch(gate, 0, one);
+        core.inject_eager_batch(gate, rail, one);
       }
     }
   }
@@ -48,7 +51,7 @@ class AggregateStrategy final : public Strategy {
     std::size_t batch_bytes = 0;
     auto emit = [&] {
       if (!batch.empty()) {
-        core.inject_eager_batch(gate, 0, batch);
+        core.inject_eager_batch(gate, core.preferred_rail(), batch);
         batch.clear();
         batch_bytes = 0;
       }
@@ -56,7 +59,7 @@ class AggregateStrategy final : public Strategy {
     while (Request* req = gate.sendq.pop_front()) {
       if (req->send_data.size() > cfg_.rdv_threshold) {
         emit();
-        core.inject_rts(gate, 0, *req);
+        core.inject_rts(gate, core.preferred_rail(), *req);
         continue;
       }
       if (!batch.empty() &&

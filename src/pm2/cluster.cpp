@@ -39,6 +39,12 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
     fuzzer_ = std::make_unique<sim::ScheduleFuzzer>(fuzz_seed);
     runtime_->attach_fuzzer(fuzzer_.get());
   }
+  // Per-core endpoints: one NIC endpoint (rail) per virtual core, so each
+  // submitting core injects on its own link (nm::Core::preferred_rail).
+  // Heterogeneous rail_costs keep their explicit rail count.
+  if (cfg_.nm.per_core_endpoints && cfg_.rail_costs.empty()) {
+    cfg_.rails = std::max(cfg_.rails, cfg_.cpus_per_node);
+  }
   if (!cfg_.rail_costs.empty()) {
     cfg_.rails = static_cast<unsigned>(cfg_.rail_costs.size());
     fabric_ =

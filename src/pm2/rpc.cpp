@@ -218,8 +218,11 @@ bool Engine::pump() {
   bool any = false;
   while (auto key = core_.pop_rpc_pending()) {
     const auto [src, tag] = *key;
-    // Entries can be stale (an earlier pass consumed several buffered
-    // messages of this channel in one go) — probe_size() re-checks.
+    // The core purges pending entries when an irecv claims the buffered
+    // message, so a popped entry always has one still in the store; this
+    // inner loop may consume several buffered messages of the channel in
+    // one go (their own entries are purged by the irecvs it posts), with
+    // probe_size() sizing each receive.
     while (const auto size = core_.probe_size(src, tag)) {
       InMsg* m = acquire_in();
       m->buf.resize(*size);

@@ -3,7 +3,7 @@
 
 Usage:
     check_metrics.py METRICS_JSON [--expect-coll] [--expect-locks]
-                     [--expect-rpc] [--expect-spans]
+                     [--expect-rpc] [--expect-spans] [--expect-shards]
                      [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
@@ -24,6 +24,12 @@ its work: globally every issued call was dispatched exactly once and
 every signal sent was delivered; per node every dispatch spawned a
 handler that finished, every completion was satisfied, nothing is left
 queued, and the handler-latency histogram accounts for every handler.
+With --expect-shards, additionally asserts the per-shard matching
+conservation laws (src/nmad/matching): on every shard the posted receives
+split exactly into matched and still-pending, arrivals split into matched
+and buffered, buffered messages into claimed and still-unexpected, and
+matches into match-on-arrival plus claim-from-buffer; summed over a
+node's shards, the posted receives equal the node's nm/recvs counter.
 With --expect-spans, additionally validates the causal-tracing section:
 every opened span closed, every parent_span_id resolves inside its own
 trace, span trees are acyclic with a single root, each tail exemplar's
@@ -248,6 +254,61 @@ def check_rpc(path: str, doc: dict) -> None:
           f"{sig_sent} signals delivered on {len(nodes)} nodes)")
 
 
+def check_shards(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    gauges = doc["metrics"]["gauges"]
+    nodes = sorted({name.split("/")[0] for name in counters
+                    if name.startswith("node") and "/nm/shard" in name})
+    if not nodes:
+        fail(f"{path}: no nodeN/nm/shardS counters (matching store unbound)")
+    total_shards = total_posted = 0
+    for node in nodes:
+        shards = sorted({name.split("/")[2] for name in counters
+                         if name.startswith(f"{node}/nm/shard")})
+        posted_sum = 0
+        for shard in shards:
+            pfx = f"{node}/nm/{shard}"
+            c = {}
+            for req in ("recvs_posted", "recvs_matched", "arrivals",
+                        "arrivals_matched", "arrivals_buffered",
+                        "buffered_claimed"):
+                v = counters.get(f"{pfx}/{req}")
+                if not isinstance(v, int):
+                    fail(f"{path}: counter {pfx}/{req} absent")
+                c[req] = v
+            g = {}
+            for req in ("posted_pending", "unexpected_pending"):
+                v = gauges.get(f"{pfx}/{req}")
+                if not isinstance(v, (int, float)) or v < 0:
+                    fail(f"{path}: gauge {pfx}/{req} absent or negative")
+                g[req] = round(v)
+            laws = (
+                ("recvs_posted == recvs_matched + posted_pending",
+                 c["recvs_posted"], c["recvs_matched"] + g["posted_pending"]),
+                ("arrivals == arrivals_matched + arrivals_buffered",
+                 c["arrivals"], c["arrivals_matched"]
+                 + c["arrivals_buffered"]),
+                ("arrivals_buffered == buffered_claimed + unexpected_pending",
+                 c["arrivals_buffered"], c["buffered_claimed"]
+                 + g["unexpected_pending"]),
+                ("recvs_matched == arrivals_matched + buffered_claimed",
+                 c["recvs_matched"], c["arrivals_matched"]
+                 + c["buffered_claimed"]),
+            )
+            for law, lhs, rhs in laws:
+                if lhs != rhs:
+                    fail(f"{path}: {pfx}: {law} violated ({lhs} != {rhs})")
+            posted_sum += c["recvs_posted"]
+        node_recvs = counters.get(f"{node}/nm/recvs")
+        if posted_sum != node_recvs:
+            fail(f"{path}: {node}: shard recvs_posted sum {posted_sum} != "
+                 f"{node}/nm/recvs {node_recvs}")
+        total_shards += len(shards)
+        total_posted += posted_sum
+    print(f"check_metrics: {path}: shards ok ({total_shards} shards on "
+          f"{len(nodes)} nodes conserve {total_posted} posted receives)")
+
+
 def check_spans(path: str, doc: dict) -> None:
     counters = doc["metrics"]["counters"]
     tracing = doc.get("tracing")
@@ -361,6 +422,9 @@ def main() -> None:
     if "--expect-rpc" in args:
         check_rpc(args[0], offload)
         args = [a for a in args if a != "--expect-rpc"]
+    if "--expect-shards" in args:
+        check_shards(args[0], offload)
+        args = [a for a in args if a != "--expect-shards"]
     if "--expect-spans" in args:
         check_spans(args[0], offload)
         args = [a for a in args if a != "--expect-spans"]
