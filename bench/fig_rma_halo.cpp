@@ -1,0 +1,207 @@
+// Headline RMA artefact: passive-target halo exchange on a ring.
+//
+// 8 nodes alternate roles by iteration parity: half are *movers*, pushing
+// an 8 KiB boundary slab into each ring neighbour's window (lock, put x2,
+// unlock), while the other half are *targets* deep inside a 400 us compute
+// phase.  The gated metric is the mover's halo completion time — lock to
+// unlock return, which includes the remote-completion fence — and the
+// contest is who progresses the target side:
+//
+//   - PIOMan: the target's idle cores apply the puts and ack the fences
+//     the moment they arrive.  The busy compute thread performs ZERO
+//     library calls while its exposure is written (asserted below via the
+//     api_calls counter: its per-node value admits no target-side calls).
+//   - App-driven baseline: the target must slice its compute phase and
+//     call rma::Engine::progress() between slices (4 x 100 us here —
+//     already generous manual progression); a put or fence that lands
+//     just after a slice boundary waits out the full next slice.
+//
+// The mover's halo time under PIOMan is wire time + engine-context
+// application; under the baseline it is dominated by the target's slice
+// period.  The "passive_speedup" ratio is gated >= 5x (hard floor).
+//
+// `fig_rma_halo --json <path>` writes the pm2-bench-v1 trajectory record;
+// run with PM2_METRICS=<path> to export the final (PIOMan) case's
+// metrics.json for tools/check_metrics.py --expect-rma.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "nmad/rma/rma.hpp"
+
+namespace {
+
+using namespace pm2;
+using namespace pm2::bench;
+
+constexpr unsigned kNodes = 8;
+constexpr unsigned kCpus = 4;
+constexpr unsigned kIters = 8;
+constexpr std::size_t kSlot = 8 * 1024;  // one halo slab; window = 2 slots
+constexpr SimDuration kTargetCompute = 400 * kUs;
+constexpr int kSlices = 4;  // baseline target: progress() between slices
+
+// Public-API calls one mover iteration costs: lock x2, put x2, unlock x2,
+// plus the flush() each unlock performs internally.  With win_create's
+// single call this pins the PIOMan per-node total — any target-side call
+// during a passive epoch would break the equality below.
+constexpr std::uint64_t kApiPerMoverIter = 8;
+
+struct HaloCase {
+  double mean_us = 0;
+  double max_us = 0;
+  double sim_us = 0;
+  ClusterObs obs;
+};
+
+HaloCase run_case(bool pioman) {
+  ClusterConfig cfg;
+  cfg.nodes = kNodes;
+  cfg.cpus_per_node = kCpus;
+  cfg.pioman = pioman;
+  cfg.rma = true;
+  Cluster cluster(cfg);
+  std::vector<std::vector<std::byte>> wins(kNodes,
+                                           std::vector<std::byte>(2 * kSlot));
+  std::vector<double> halo_us;  // mover samples (cooperative: safe to share)
+
+  for (unsigned r = 0; r < kNodes; ++r) {
+    cluster.run_on(r, [&cluster, &wins, &halo_us, r, pioman] {
+      nm::rma::Engine& rma = cluster.rma(r);
+      const nm::rma::WinId win = rma.win_create(wins[r]);
+      const std::vector<std::byte> boundary(kSlot,
+                                            static_cast<std::byte>(r + 1));
+      const unsigned right = (r + 1) % kNodes;
+      const unsigned left = (r + kNodes - 1) % kNodes;
+      for (unsigned i = 0; i < kIters; ++i) {
+        if (r % 2 == i % 2) {
+          // Mover: push the boundary slab into both neighbours' windows.
+          // Slot 0 receives the halo from the left, slot 1 from the right.
+          const SimTime t0 = cluster.now();
+          rma.lock(win, right);
+          rma.lock(win, left);
+          rma.put(win, right, 0, boundary);
+          rma.put(win, left, kSlot, boundary);
+          rma.unlock(win, right);
+          rma.unlock(win, left);
+          halo_us.push_back(to_us(cluster.now() - t0));
+        } else if (pioman) {
+          // Passive target: one opaque compute phase, not one library
+          // call.  Idle cores apply the halos underneath it.
+          marcel::this_thread::compute(kTargetCompute);
+        } else {
+          // Baseline target: manual progression between compute slices is
+          // the best the app-driven design can do.
+          for (int s = 0; s < kSlices; ++s) {
+            marcel::this_thread::compute(kTargetCompute / kSlices);
+            rma.progress();
+          }
+        }
+        cluster.coll(r).wait(cluster.coll(r).ibarrier());
+      }
+    });
+  }
+  cluster.run();
+
+  // Every node was a target in half the iterations; its final slots must
+  // hold its neighbours' fill bytes.
+  for (unsigned r = 0; r < kNodes; ++r) {
+    const auto left = static_cast<std::byte>((r + kNodes - 1) % kNodes + 1);
+    const auto right = static_cast<std::byte>((r + 1) % kNodes + 1);
+    if (wins[r][0] != left || wins[r][kSlot] != right) {
+      std::fprintf(stderr, "FAIL: node %u halo slots corrupt\n", r);
+      std::exit(1);
+    }
+  }
+  if (pioman) {
+    // The passivity assert: every node's API-call count is exactly its
+    // mover-side work — the compute phases made zero target-side calls.
+    const std::uint64_t expect = 1 + (kIters / 2) * kApiPerMoverIter;
+    for (unsigned r = 0; r < kNodes; ++r) {
+      const std::uint64_t got = cluster.rma(r).stats().api_calls;
+      if (got != expect) {
+        std::fprintf(stderr,
+                     "FAIL: node %u made %llu API calls (expected %llu): "
+                     "the passive target called into the library\n",
+                     r, static_cast<unsigned long long>(got),
+                     static_cast<unsigned long long>(expect));
+        std::exit(1);
+      }
+    }
+  }
+
+  HaloCase hc;
+  double sum = 0;
+  for (const double v : halo_us) {
+    sum += v;
+    hc.max_us = std::max(hc.max_us, v);
+  }
+  hc.mean_us = sum / static_cast<double>(halo_us.size());
+  hc.sim_us = to_us(cluster.now());
+  hc.obs = observe(cluster);
+  return hc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path =
+      argc > 2 && std::strcmp(argv[1], "--json") == 0 ? argv[2] : nullptr;
+
+  std::printf(
+      "RMA halo exchange: %u nodes x %u cores, ring topology, %zu KiB\n"
+      "slabs, %u iterations of alternating mover/target roles; targets\n"
+      "compute for %.0f us per iteration.\n",
+      kNodes, kCpus, kSlot / 1024, kIters, to_us(kTargetCompute));
+  print_header("halo completion time (mover: lock..unlock)",
+               {"case", "mean(us)", "max(us)", "sim(us)"});
+  BenchJson json("fig_rma_halo");
+  double appdriven_mean = 0;
+  double pioman_mean = 0;
+  // PIOMan last: with PM2_METRICS set, the final Cluster's export is the
+  // one the RMA conservation checker reads.
+  for (const bool pioman : {false, true}) {
+    const HaloCase r = run_case(pioman);
+    const char* name = pioman ? "pioman" : "appdriven";
+    (pioman ? pioman_mean : appdriven_mean) = r.mean_us;
+    print_cell(name);
+    print_cell(r.mean_us);
+    print_cell(r.max_us);
+    print_cell(r.sim_us);
+    end_row();
+    json.begin_case(name);
+    json.metric("halo_us_mean", r.mean_us, "lower");
+    json.metric("halo_us_max", r.max_us, "lower");
+    json.metrics_from(r.obs);
+  }
+  const double speedup = appdriven_mean / pioman_mean;
+  std::printf("\npassive-target speedup (appdriven/pioman halo mean): %.1fx\n",
+              speedup);
+  json.begin_case("passive_target");
+  json.metric("passive_speedup", speedup, "higher");
+
+  std::printf(
+      "\nExpected shape: the PIOMan mover completes its halo in wire time\n"
+      "plus engine-context application — the busy target's idle cores do\n"
+      "all the work, and the target itself makes zero library calls (the\n"
+      "api_calls counter asserts it).  The app-driven mover instead waits\n"
+      "out the target's progression slice period on every put and fence,\n"
+      "so its halo time tracks the slice length, not the wire.\n");
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: passive-target speedup %.2fx below the 5x floor\n",
+                 speedup);
+    return 1;
+  }
+  if (json_path != nullptr) {
+    if (!json.write(json_path)) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -623,6 +623,11 @@ void Core::inject_rts(Gate& gate, unsigned rail, Request& req) {
   trace_span("nm:rts", t0);
 }
 
+void Core::rma_send(unsigned dst, std::vector<std::byte>&& pkt) {
+  ++stats_.wire_packets;
+  send_packet(dst, preferred_rail(), std::move(pkt));
+}
+
 void Core::send_packet(unsigned dst, unsigned rail,
                        std::vector<std::byte>&& pkt) {
   if (reliable_ != nullptr && dst != node_id()) {
@@ -695,6 +700,36 @@ void Core::deliver_packet(unsigned src, std::span<const std::byte> pkt) {
       // Consumed by the reliability sublayer; a stray one (e.g. sublayer
       // disabled on this side) carries nothing for the core.
       break;
+    case PacketKind::kRmaPut:
+    case PacketKind::kRmaAcc:
+    case PacketKind::kRmaGet:
+    case PacketKind::kRmaGetRep:
+    case PacketKind::kRmaRts:
+    case PacketKind::kRmaCts:
+    case PacketKind::kRmaFlushReq:
+    case PacketKind::kRmaFlushAck: {
+      // One-sided band: bypass matching, hand straight to the RMA engine.
+      // Only kRmaPut/kRmaAcc/kRmaGetRep carry an inline body; the rest are
+      // header-only and must not be read past the header.
+      const PacketKind k = static_cast<PacketKind>(hdr.kind);
+      std::span<const std::byte> payload;
+      if (k == PacketKind::kRmaPut || k == PacketKind::kRmaAcc ||
+          k == PacketKind::kRmaGetRep) {
+        if (read_payload(pkt, off, hdr.size, payload) != Status::kOk) {
+          ++stats_.dropped_malformed;
+          return;
+        }
+      }
+      if (rma_sink_ == nullptr) {
+        // No RMA engine attached on this node; nothing can apply it.
+        ++stats_.dropped_malformed;
+        PM2_DEBUG("node %u: dropping RMA packet (no sink) from node %u",
+                  node_id(), src);
+        return;
+      }
+      rma_sink_->on_rma_packet(src, hdr, payload);
+      break;
+    }
     default:
       // Unknown kind: a corrupted byte on a fabric without the sublayer.
       ++stats_.dropped_malformed;
@@ -860,8 +895,13 @@ void Core::send_rdv_data(Request& req) {
 void Core::handle_rdma_done(const net::RxEvent& ev) {
   const SimTime t0 = fabric_.engine().now();
   const auto it = rdma_recvs_.find(ev.rdma);
-  PM2_ASSERT_MSG(it != rdma_recvs_.end(),
-                 "RDMA completion for an unknown receive");
+  if (it == rdma_recvs_.end()) {
+    // Not a two-sided rendezvous landing; the RMA engine registers its own
+    // large-put windows and owns their completions.
+    PM2_ASSERT_MSG(rma_sink_ != nullptr && rma_sink_->on_rdma_done(ev),
+                   "RDMA completion for an unknown receive");
+    return;
+  }
   Request& req = *it->second;
   req.received_len += ev.rdma_len;
   PM2_ASSERT(req.received_len <= req.rdv_expected);

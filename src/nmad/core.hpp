@@ -59,6 +59,27 @@ struct Gate {
   Gate& operator=(const Gate&) = delete;
 };
 
+/// Receiver-side hook for the one-sided RMA band (PacketKind::kRmaPut..
+/// kRmaFlushAck).  Wire packets in that band bypass tag matching entirely:
+/// deliver_packet hands them to the registered sink, which applies them in
+/// engine context (poll source or PIOMan ltask — never a posted recv).
+/// Implemented by rma::Engine.
+class RmaSink {
+ public:
+  virtual ~RmaSink() = default;
+
+  /// One RMA-band packet arrived from node `src`.  `payload` is the
+  /// bounds-checked inline body (empty for header-only kinds).  Runs in
+  /// engine context on the polling CPU; may charge CPU time.
+  virtual void on_rma_packet(unsigned src, const WireHeader& hdr,
+                             std::span<const std::byte> payload) = 0;
+
+  /// An RDMA completion arrived for a handle the core's rendezvous-recv
+  /// table does not know.  Returns true if the sink owned it (an RMA
+  /// large-put landing), false otherwise.
+  virtual bool on_rdma_done(const net::RxEvent& ev) = 0;
+};
+
 class Core {
  public:
   /// `server` is null in ProgressMode::kAppDriven (the baseline).
@@ -263,6 +284,19 @@ class Core {
     stats_.pack_segments += segments;
   }
 
+  // ---------------- one-sided RMA hooks ----------------
+
+  /// Register (or detach, with nullptr) the sink that owns the RMA wire
+  /// band.  RMA packets arriving with no sink are counted as malformed
+  /// and dropped.
+  void set_rma_sink(RmaSink* sink) noexcept { rma_sink_ = sink; }
+
+  /// Submit one sealed RMA-band packet towards `dst` on this core's
+  /// preferred rail, through the reliability sublayer when enabled.  The
+  /// RMA engine builds its own headers; this is its injection door past
+  /// the tag-matching send path.
+  void rma_send(unsigned dst, std::vector<std::byte>&& pkt);
+
   // ---------------- strategy-facing helpers ----------------
 
   /// Build one wire packet from `reqs` (one kEager, or one kAggregate if
@@ -344,6 +378,7 @@ class Core {
 
   std::deque<std::unique_ptr<Request>> pool_;
   std::vector<Request*> freelist_;
+  RmaSink* rma_sink_ = nullptr;
   FlightRecorder* flight_ = nullptr;
   // Causal lineage staged by set_next_trace() for the next posted request.
   std::uint64_t next_trace_id_ = 0;

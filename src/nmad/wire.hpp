@@ -31,7 +31,45 @@ enum class PacketKind : std::uint8_t {
   kCts = 3,       // rendezvous clear-to-send (header only)
   kAggregate = 4, // container of several kEager sub-messages
   kAck = 5,       // standalone cumulative ACK (reliability sublayer)
+
+  // One-sided RMA band (src/nmad/rma).  These bypass tag matching: the
+  // receiving Core hands them straight to the registered RmaSink and the
+  // target applies them in engine context, never via a posted recv.
+  kRmaPut = 6,      // eager put: header + payload inline
+  kRmaAcc = 7,      // eager accumulate: header + payload inline
+  kRmaGet = 8,      // get request (header only)
+  kRmaGetRep = 9,   // get reply: header + payload inline
+  kRmaRts = 10,     // large-put rendezvous request (header only)
+  kRmaCts = 11,     // large-put rendezvous grant (header only)
+  kRmaFlushReq = 12,// remote-completion fence request (header only)
+  kRmaFlushAck = 13,// remote-completion fence ack (header only)
 };
+
+// Wire-kind <-> header-field usage matrix.  "-" means the field must be
+// zero on the wire for that kind; parsing treats the header as 48 fixed
+// bytes regardless.  psn/ack/checksum are owned by the reliability
+// sublayer for every kind and omitted here; count is only live where
+// shown.
+//
+//   kind         | tag        | seq       | size      | rdv          | handle      | count
+//   -------------+------------+-----------+-----------+--------------+-------------+---------------
+//   kEager       | match tag  | match seq | payload B | -            | -           | -
+//   kRts         | match tag  | match seq | total B   | send rdv id  | -           | -
+//   kCts         | match tag  | match seq | total B   | rdv id echo  | RDMA handle | -
+//   kAggregate   | -          | -         | body B    | -            | -           | sub-messages
+//   kAck         | -          | -         | -         | -            | -           | -
+//   kRmaPut      | window id  | op #      | payload B | target off   | -           | -
+//   kRmaAcc      | window id  | op #      | payload B | target off   | -           | (type<<8)|op
+//   kRmaGet      | window id  | op #      | length B  | target off   | get op id   | -
+//   kRmaGetRep   | window id  | op # echo | payload B | -            | get id echo | -
+//   kRmaRts      | window id  | op #      | length B  | put rdv id   | target off  | -
+//   kRmaCts      | window id  | op # echo | length echo| rdv id echo | RDMA handle | -
+//   kRmaFlushReq | window id  | fence id  | -         | need count   | -           | -
+//   kRmaFlushAck | window id  | fence echo| -         | applied count| -           | -
+//
+// Adding a kind must not grow the header: the static_assert below pins
+// it at 48 bytes, so new kinds must repurpose existing fields (and add a
+// row above) rather than append new ones.
 
 /// WireHeader::flags bit: psn/ack/checksum fields are meaningful (the
 /// packet went through the reliable-delivery sublayer).

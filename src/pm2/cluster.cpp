@@ -77,6 +77,13 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
       rpcs_.push_back(std::make_unique<rpc::Engine>(*cores_[i]));
     }
   }
+  if (cfg_.rma) {
+    rmas_.reserve(cfg_.nodes);
+    for (unsigned i = 0; i < cfg_.nodes; ++i) {
+      rmas_.push_back(std::make_unique<nm::rma::Engine>(*cores_[i],
+                                                        *colls_[i]));
+    }
+  }
   if (std::getenv("PM2_TRACING") != nullptr) cfg_.tracing = true;
   if (cfg_.tracing) {
     tracers_.reserve(cfg_.nodes);
@@ -84,6 +91,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
       tracers_.push_back(std::make_unique<tracing::Recorder>(i, trace_ids_));
       colls_[i]->set_tracing(tracers_[i].get());
       if (i < rpcs_.size()) rpcs_[i]->set_tracing(tracers_[i].get());
+      if (i < rmas_.size()) rmas_[i]->set_tracing(tracers_[i].get());
     }
   }
   if (!cfg_.faults.empty()) {
@@ -249,6 +257,10 @@ void Cluster::bind_all_metrics() {
     if (n < rpcs_.size()) {
       std::snprintf(prefix, sizeof prefix, "node%u/rpc", n);
       rpcs_[n]->bind_metrics(metrics_, prefix);
+    }
+    if (n < rmas_.size()) {
+      std::snprintf(prefix, sizeof prefix, "node%u/rma", n);
+      rmas_[n]->bind_metrics(metrics_, prefix);
     }
     if (const nm::Reliability* rel = cores_[n]->reliability()) {
       std::snprintf(prefix, sizeof prefix, "node%u/reliable", n);

@@ -22,6 +22,7 @@
 #include "netsim/fabric.hpp"
 #include "nmad/coll/coll.hpp"
 #include "nmad/core.hpp"
+#include "nmad/rma/rma.hpp"
 #include "pm2/completion.hpp"
 #include "pm2/rpc.hpp"
 #include "pm2/tracing/assembly.hpp"
@@ -58,6 +59,12 @@ struct ClusterConfig {
   /// Off by default: the engines register a PIOMan poll source per node,
   /// and workloads that issue no RPCs should not pay for it.
   bool rpc = false;
+
+  /// Per-node one-sided RMA engines (see nmad/rma/rma.hpp), reachable via
+  /// Cluster::rma(i) and bound as "nodeN/rma/*" metrics.  Off by default;
+  /// a dormant sink costs nothing, but windows and epochs are part of the
+  /// workload's contract, so the subsystem is opt-in like rpc.
+  bool rma = false;
 
   /// Record per-request lifecycle stamps into per-node FlightRecorders for
   /// the attribution pass (see nmad/flight.hpp).  Also enabled implicitly
@@ -121,6 +128,12 @@ class Cluster {
   [[nodiscard]] rpc::Engine& rpc(unsigned i) noexcept {
     PM2_ASSERT_MSG(i < rpcs_.size(), "ClusterConfig::rpc is off");
     return *rpcs_[i];
+  }
+  /// Node `i`'s one-sided RMA engine (requires ClusterConfig::rma).  Its
+  /// counters are bound under "nodeN/rma" in metrics().
+  [[nodiscard]] nm::rma::Engine& rma(unsigned i) noexcept {
+    PM2_ASSERT_MSG(i < rmas_.size(), "ClusterConfig::rma is off");
+    return *rmas_[i];
   }
 
   /// Spawn an application thread on node `i`.
@@ -203,6 +216,7 @@ class Cluster {
   // their poll source) die before the cores and servers they reference.
   std::vector<std::shared_ptr<nm::coll::Engine>> colls_;
   std::vector<std::unique_ptr<rpc::Engine>> rpcs_;
+  std::vector<std::unique_ptr<nm::rma::Engine>> rmas_;
   std::vector<std::unique_ptr<nm::FlightRecorder>> flights_;
   MetricsRegistry metrics_;
   std::unique_ptr<sim::Tracer> env_tracer_;

@@ -178,7 +178,9 @@ Assembly assemble(std::span<const Recorder* const> recorders) {
     }
 
     if (root != nullptr) {
-      tv.kind = root->open_kind == EventKind::kCollStart ? "coll" : "rpc";
+      tv.kind = root->open_kind == EventKind::kCollStart      ? "coll"
+                : root->open_kind == EventKind::kRmaEpochStart ? "rma"
+                                                               : "rpc";
       tv.service = root->service;
       tv.root_node = root->node;
       tv.begin = root->begin;
@@ -196,7 +198,10 @@ Assembly assemble(std::span<const Recorder* const> recorders) {
         }
       }
     }
-    if (std::string_view(tv.kind) == "coll") {
+    if (std::string_view(tv.kind) == "coll" ||
+        std::string_view(tv.kind) == "rma") {
+      // Both end when the root span closes (coll root close, rma epoch
+      // close); there is no completion-signal terminal to wait for.
       tv.end = root != nullptr ? root->end : 0;
       tv.complete = tree_ok && all_closed;
     } else {

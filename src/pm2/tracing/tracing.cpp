@@ -21,6 +21,10 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kSignalDelivered: return "signal-delivered";
     case EventKind::kCollOpDone: return "coll-op-done";
     case EventKind::kCollDone: return "coll-done";
+    case EventKind::kRmaEpochStart: return "rma-epoch-start";
+    case EventKind::kRmaOpIssued: return "rma-op-issued";
+    case EventKind::kRmaOpDone: return "rma-op-done";
+    case EventKind::kRmaEpochEnd: return "rma-epoch-end";
   }
   return "?";
 }
@@ -32,6 +36,8 @@ bool opens_span(EventKind k) noexcept {
     case EventKind::kSignalSent:
     case EventKind::kCollStart:
     case EventKind::kCollOpIssued:
+    case EventKind::kRmaEpochStart:
+    case EventKind::kRmaOpIssued:
       return true;
     default:
       return false;
@@ -45,6 +51,8 @@ bool closes_span(EventKind k) noexcept {
     case EventKind::kSignalDelivered:
     case EventKind::kCollOpDone:
     case EventKind::kCollDone:
+    case EventKind::kRmaOpDone:
+    case EventKind::kRmaEpochEnd:
       return true;
     default:
       return false;
@@ -58,6 +66,8 @@ EventKind closing_kind_for(EventKind open) noexcept {
     case EventKind::kSignalSent: return EventKind::kSignalDelivered;
     case EventKind::kCollStart: return EventKind::kCollDone;
     case EventKind::kCollOpIssued: return EventKind::kCollOpDone;
+    case EventKind::kRmaEpochStart: return EventKind::kRmaEpochEnd;
+    case EventKind::kRmaOpIssued: return EventKind::kRmaOpDone;
     default: return open;
   }
 }
@@ -69,6 +79,8 @@ const char* span_kind_name(EventKind open) noexcept {
     case EventKind::kSignalSent: return "rpc.signal";
     case EventKind::kCollStart: return "coll";
     case EventKind::kCollOpIssued: return "coll.op";
+    case EventKind::kRmaEpochStart: return "rma.epoch";
+    case EventKind::kRmaOpIssued: return "rma.op";
     default: return "?";
   }
 }

@@ -70,9 +70,14 @@ enum class EventKind : std::uint8_t {
   kSignalDelivered,  // closes rpc.signal (on the completion's home node)
   kCollOpDone,     // closes coll.op
   kCollDone,       // closes coll
+  // -- one-sided RMA (origin side; the passive target records nothing) --
+  kRmaEpochStart,  // opens rma.epoch (lock..unlock / fence..fence)
+  kRmaOpIssued,    // opens rma.op (one put/get/accumulate)
+  kRmaOpDone,      // closes rma.op (remotely applied / reply landed)
+  kRmaEpochEnd,    // closes rma.epoch
 };
 
-inline constexpr std::size_t kEventKindCount = 14;
+inline constexpr std::size_t kEventKindCount = 18;
 
 [[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
 [[nodiscard]] bool opens_span(EventKind k) noexcept;

@@ -122,6 +122,10 @@ TEST(EventKinds, ClosingKindsMatchOpeningKinds) {
             EventKind::kCollDone);
   EXPECT_EQ(tracing::closing_kind_for(EventKind::kCollOpIssued),
             EventKind::kCollOpDone);
+  EXPECT_EQ(tracing::closing_kind_for(EventKind::kRmaEpochStart),
+            EventKind::kRmaEpochEnd);
+  EXPECT_EQ(tracing::closing_kind_for(EventKind::kRmaOpIssued),
+            EventKind::kRmaOpDone);
   for (std::size_t i = 0; i < tracing::kEventKindCount; ++i) {
     const auto k = static_cast<EventKind>(i);
     EXPECT_FALSE(tracing::opens_span(k) && tracing::closes_span(k));

@@ -3,7 +3,8 @@
 
 Usage:
     check_metrics.py METRICS_JSON [--expect-coll] [--expect-locks]
-                     [--expect-rpc] [--expect-spans] [--expect-shards]
+                     [--expect-rpc] [--expect-rma] [--expect-spans]
+                     [--expect-shards]
                      [--expect-offload-beats BASELINE_JSON]
 
 Checks that the document parses, carries the expected sections, and that
@@ -24,7 +25,14 @@ its work: globally every issued call was dispatched exactly once and
 every signal sent was delivered; per node every dispatch spawned a
 handler that finished, every completion was satisfied, nothing is left
 queued, and the handler-latency histogram accounts for every handler.
-With --expect-shards, additionally asserts the per-shard matching
+With --expect-rma, additionally asserts the one-sided conservation laws
+(src/nmad/rma): per node the eager/rendezvous split accounts for every
+put issued, every opened epoch closed, no wire op was dropped as
+malformed, and nothing is left in flight (ops_pending and fences_parked
+gauges are zero); globally every put/accumulate issued was applied
+exactly once, every get was served and completed, and every fence
+request was acked and received.  With --expect-shards, additionally
+asserts the per-shard matching
 conservation laws (src/nmad/matching): on every shard the posted receives
 split exactly into matched and still-pending, arrivals split into matched
 and buffered, buffered messages into claimed and still-unexpected, and
@@ -254,6 +262,68 @@ def check_rpc(path: str, doc: dict) -> None:
           f"{sig_sent} signals delivered on {len(nodes)} nodes)")
 
 
+def check_rma(path: str, doc: dict) -> None:
+    counters = doc["metrics"]["counters"]
+    gauges = doc["metrics"]["gauges"]
+    nodes = sorted({name.split("/")[0] for name in counters
+                    if "/rma/" in name})
+    if not nodes:
+        fail(f"{path}: no nodeN/rma counters (rma engine not bound)")
+    fields = ("api_calls", "wins_created", "epochs_opened", "epochs_closed",
+              "puts_issued", "puts_eager", "puts_rdv", "puts_applied",
+              "accs_issued", "accs_applied", "gets_issued", "gets_served",
+              "gets_completed", "flushes", "flush_reqs", "flush_acks",
+              "flush_acks_rx", "bytes_put", "bytes_got", "bytes_acc",
+              "dropped_out_of_range")
+    tot = {f: 0 for f in fields}
+    for node in nodes:
+        pfx = f"{node}/rma"
+        c = {}
+        for req in fields:
+            v = counters.get(f"{pfx}/{req}")
+            if not isinstance(v, int):
+                fail(f"{path}: counter {pfx}/{req} absent")
+            c[req] = v
+            tot[req] += v
+        if c["puts_eager"] + c["puts_rdv"] != c["puts_issued"]:
+            fail(f"{path}: {pfx}: eager + rdv != puts_issued "
+                 f"({c['puts_eager']} + {c['puts_rdv']} != "
+                 f"{c['puts_issued']})")
+        if c["epochs_opened"] != c["epochs_closed"]:
+            fail(f"{path}: {pfx}: epochs opened != closed "
+                 f"({c['epochs_opened']} vs {c['epochs_closed']})")
+        if c["dropped_out_of_range"] != 0:
+            fail(f"{path}: {pfx}: {c['dropped_out_of_range']} wire ops "
+                 f"dropped as malformed")
+        for g in ("ops_pending", "fences_parked"):
+            v = gauges.get(f"{pfx}/{g}")
+            if v != 0:
+                fail(f"{path}: {pfx}/{g} is {v}, expected 0 at quiescence")
+    ops = tot["puts_issued"] + tot["accs_issued"] + tot["gets_issued"]
+    if ops == 0:
+        fail(f"{path}: no RMA operations ran")
+    laws = (
+        ("puts issued == applied", tot["puts_issued"], tot["puts_applied"]),
+        ("accs issued == applied", tot["accs_issued"], tot["accs_applied"]),
+        ("gets issued == served", tot["gets_issued"], tot["gets_served"]),
+        ("gets issued == completed", tot["gets_issued"],
+         tot["gets_completed"]),
+        ("fence reqs == acks sent", tot["flush_reqs"], tot["flush_acks"]),
+        ("fence reqs == acks received", tot["flush_reqs"],
+         tot["flush_acks_rx"]),
+    )
+    for law, lhs, rhs in laws:
+        if lhs != rhs:
+            fail(f"{path}: rma: {law} violated ({lhs} != {rhs})")
+    if tot["flush_reqs"] > tot["flushes"]:
+        fail(f"{path}: rma: more fence requests ({tot['flush_reqs']}) than "
+             f"flush calls ({tot['flushes']})")
+    print(f"check_metrics: {path}: rma ok ({tot['puts_issued']} puts, "
+          f"{tot['accs_issued']} accumulates, {tot['gets_issued']} gets "
+          f"conserved across {len(nodes)} nodes; {tot['flush_reqs']} fences "
+          f"retired)")
+
+
 def check_shards(path: str, doc: dict) -> None:
     counters = doc["metrics"]["counters"]
     gauges = doc["metrics"]["gauges"]
@@ -422,6 +492,9 @@ def main() -> None:
     if "--expect-rpc" in args:
         check_rpc(args[0], offload)
         args = [a for a in args if a != "--expect-rpc"]
+    if "--expect-rma" in args:
+        check_rma(args[0], offload)
+        args = [a for a in args if a != "--expect-rma"]
     if "--expect-shards" in args:
         check_shards(args[0], offload)
         args = [a for a in args if a != "--expect-shards"]
